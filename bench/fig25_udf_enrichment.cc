@@ -1,0 +1,54 @@
+// Figure 25: 1M-tweet enrichment throughput on 6 nodes, five use cases
+// (Safety Rating, Religious Population, Largest Religions, Fuzzy Suspects,
+// Nearby Monuments) x {Static-Java, Dynamic-Java 1X/4X/16X,
+// Dynamic-SQL++ 1X/4X/16X}. Here: 2K tweets (simulator scale).
+//
+// Expected shapes: static (stale-state) enrichment is fastest except Nearby
+// Monuments, where the SQL++ R-tree index nested-loop join beats the Java
+// linear scan; throughput rises with batch size, least for Fuzzy Suspects /
+// Nearby Monuments whose per-record compute dominates.
+#include "harness.h"
+
+using namespace idea;
+using namespace idea::bench;
+
+int main() {
+  SimBench::Options options;
+  options.use_cases = EvalUseCases();
+  options.base_sizes = EvalBenchSizes();
+  options.tweets = 3000;
+  SimBench bench(options);
+
+  const size_t kNodes = 6;
+
+  PrintHeader("Figure 25: 3K tweets enrichment with UDFs on 6 nodes",
+              "throughput in records/second, log-scale shape in the paper");
+  PrintRow({"use case", "StaticJava", "DynJava-1X", "DynJava-4X", "DynJava-16X",
+            "DynSQL-1X", "DynSQL-4X", "DynSQL-16X"},
+           16);
+
+  for (auto id : EvalUseCases()) {
+    const auto& uc = workload::GetUseCase(id);
+    std::vector<std::string> row = {uc.name};
+    auto run = [&](bool dynamic, bool native, size_t batch_mult) {
+      feed::SimConfig config;
+      config.nodes = kNodes;
+      config.dynamic = dynamic;
+      config.batch_size = kBatch1X * batch_mult;
+      config.costs = BenchCosts();
+      config.udf = native ? uc.native_udf : uc.function_name;
+      config.use_native = native;
+      feed::SimReport r = bench.Run(config);
+      row.push_back(Fmt(r.throughput_rps, "%.0f"));
+    };
+    run(/*dynamic=*/false, /*native=*/true, 1);  // Static Enrichment w/ Java
+    run(true, true, 1);
+    run(true, true, 4);
+    run(true, true, 16);
+    run(true, false, 1);
+    run(true, false, 4);
+    run(true, false, 16);
+    PrintRow(row, 16);
+  }
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Micro-benchmarks: enrichment access paths (hash probe vs index nested
+// loop vs scan), plan state rebuild (the per-computing-job refresh cost),
+// and partition-holder queue throughput.
+#include <benchmark/benchmark.h>
+
+#include "runtime/partition_holder.h"
+#include "sqlpp/enrichment_plan.h"
+#include "sqlpp/parser.h"
+#include "storage/catalog.h"
+#include "workload/native_udfs.h"
+#include "workload/tweets.h"
+#include "workload/usecases.h"
+
+namespace {
+
+using namespace idea;
+
+class NoFns : public sqlpp::FunctionResolver {
+ public:
+  const sqlpp::SqlppFunctionDef* FindSqlppFunction(const std::string&) const override {
+    return nullptr;
+  }
+  sqlpp::NativeFunctionHandle* FindNativeFunction(const std::string&) const override {
+    return nullptr;
+  }
+};
+
+struct UseCaseFixture {
+  storage::Catalog catalog;
+  std::unique_ptr<storage::CatalogAccessor> accessor;
+  NoFns fns;
+  std::shared_ptr<const sqlpp::SqlppFunctionDef> def;
+  std::vector<adm::Value> tweets;
+
+  explicit UseCaseFixture(workload::UseCaseId id, const std::string& fn_ddl = "") {
+    accessor = std::make_unique<storage::CatalogAccessor>(&catalog, false);
+    const auto& uc = workload::GetUseCase(id);
+    auto stmts_r = sqlpp::ParseScript(uc.ddl);
+    std::vector<sqlpp::Statement> stmts = std::move(stmts_r).value();
+    for (const auto& stmt : stmts) {
+      if (stmt.kind == sqlpp::StatementKind::kCreateType) {
+        std::vector<adm::FieldSpec> fields;
+        for (const auto& f : stmt.create_type.fields) {
+          fields.push_back({f.name, *adm::FieldTypeFromName(f.type_name), f.optional});
+        }
+        (void)catalog.CreateDatatype(adm::Datatype(stmt.create_type.name, fields));
+      } else if (stmt.kind == sqlpp::StatementKind::kCreateDataset) {
+        (void)catalog.CreateDataset(stmt.create_dataset.name,
+                                    stmt.create_dataset.type_name,
+                                    stmt.create_dataset.primary_key);
+      } else if (stmt.kind == sqlpp::StatementKind::kCreateIndex) {
+        auto ds = catalog.FindDataset(stmt.create_index.dataset);
+        (void)ds->CreateIndex(stmt.create_index.name, stmt.create_index.field,
+                              stmt.create_index.index_type);
+      }
+    }
+    (void)workload::LoadUseCaseData(&catalog, uc, workload::SimulatorScaleSizes(), 500,
+                                    1);
+    auto fn_r = sqlpp::ParseStatement(fn_ddl.empty() ? uc.function_ddl : fn_ddl);
+    sqlpp::Statement fn = std::move(fn_r).value();
+    auto d = std::make_shared<sqlpp::SqlppFunctionDef>();
+    d->name = fn.create_function.name;
+    d->params = fn.create_function.params;
+    d->body =
+        std::shared_ptr<const sqlpp::SelectStatement>(std::move(fn.create_function.body));
+    def = d;
+    workload::TweetGenerator gen({.seed = 3, .country_domain = 500});
+    for (int i = 0; i < 256; ++i) tweets.push_back(gen.NextValue());
+  }
+};
+
+void BM_EnrichHashProbe(benchmark::State& state) {
+  UseCaseFixture fx(workload::UseCaseId::kSafetyRating);
+  auto plan_r = sqlpp::EnrichmentPlan::Compile(fx.def, fx.accessor.get(), &fx.fns);
+  auto plan = std::move(plan_r).value();
+  (void)plan->Initialize();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan->EnrichOne(fx.tweets[i++ % fx.tweets.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnrichHashProbe);
+
+void BM_EnrichRtreeProbe(benchmark::State& state) {
+  UseCaseFixture fx(workload::UseCaseId::kNearbyMonuments);
+  auto plan_r = sqlpp::EnrichmentPlan::Compile(fx.def, fx.accessor.get(), &fx.fns);
+  auto plan = std::move(plan_r).value();
+  (void)plan->Initialize();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan->EnrichOne(fx.tweets[i++ % fx.tweets.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnrichRtreeProbe);
+
+void BM_EnrichNaiveScan(benchmark::State& state) {
+  UseCaseFixture fx(workload::UseCaseId::kNearbyMonuments,
+                    workload::NaiveNearbyMonumentsFunctionDdl());
+  auto plan_r = sqlpp::EnrichmentPlan::Compile(fx.def, fx.accessor.get(), &fx.fns);
+  auto plan = std::move(plan_r).value();
+  (void)plan->Initialize();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan->EnrichOne(fx.tweets[i++ % fx.tweets.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnrichNaiveScan);
+
+void BM_PlanStateRebuild(benchmark::State& state) {
+  // The per-computing-job refresh cost (Initialize: snapshot + hash build).
+  UseCaseFixture fx(workload::UseCaseId::kSafetyRating);
+  auto plan_r = sqlpp::EnrichmentPlan::Compile(fx.def, fx.accessor.get(), &fx.fns);
+  auto plan = std::move(plan_r).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan->Initialize());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanStateRebuild);
+
+void BM_PredeployVsCompile(benchmark::State& state) {
+  // Cost the predeployed-jobs optimization avoids per invocation: full plan
+  // compilation (parse once outside; Compile per iteration).
+  UseCaseFixture fx(workload::UseCaseId::kSafetyRating);
+  for (auto _ : state) {
+    auto plan = sqlpp::EnrichmentPlan::Compile(fx.def, fx.accessor.get(), &fx.fns);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredeployVsCompile);
+
+void BM_IntakeHolderPushPull(benchmark::State& state) {
+  runtime::IntakePartitionHolder holder({"bench", "intake", 0}, 1u << 20);
+  std::string record(450, 'x');
+  const size_t batch = 420;
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      benchmark::DoNotOptimize(holder.Push(std::string(record)));
+    }
+    std::vector<std::string> out;
+    benchmark::DoNotOptimize(holder.PullBatch(batch, &out));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_IntakeHolderPushPull);
+
+void BM_StorageHolderPushPop(benchmark::State& state) {
+  runtime::StoragePartitionHolder holder({"bench", "storage", 0}, 1u << 16);
+  workload::TweetGenerator gen({.seed = 9, .country_domain = 50});
+  std::vector<adm::Value> records;
+  for (int i = 0; i < 64; ++i) records.push_back(gen.NextValue());
+  runtime::Frame frame = runtime::Frame::FromRecords(records);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(holder.Push(runtime::Frame(frame)));
+    runtime::Frame out;
+    benchmark::DoNotOptimize(holder.Pop(&out));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_StorageHolderPushPop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

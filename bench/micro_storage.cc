@@ -1,0 +1,115 @@
+// Micro-benchmarks: LSM dataset operations and index probes.
+#include <benchmark/benchmark.h>
+
+#include "storage/lsm_dataset.h"
+#include "workload/reference_data.h"
+#include "workload/tweets.h"
+
+namespace {
+
+using idea::adm::Value;
+using idea::storage::DatasetOptions;
+using idea::storage::LsmDataset;
+
+std::unique_ptr<LsmDataset> LoadedDataset(size_t n) {
+  auto ds = std::make_unique<LsmDataset>(
+      "bench",
+      idea::adm::Datatype("T", {{"monument_id", idea::adm::FieldType::kString, false}}),
+      "monument_id");
+  for (auto& rec : idea::workload::GenMonuments(n, 7)) {
+    (void)ds->Upsert(std::move(rec));
+  }
+  return ds;
+}
+
+void BM_LsmUpsert(benchmark::State& state) {
+  LsmDataset ds("bench",
+                idea::adm::Datatype("T", {{"id", idea::adm::FieldType::kInt64, false}}),
+                "id");
+  int64_t i = 0;
+  for (auto _ : state) {
+    Value rec = Value::MakeObject({{"id", Value::MakeInt(i % 10000)},
+                                   {"v", Value::MakeInt(i)}});
+    benchmark::DoNotOptimize(ds.Upsert(std::move(rec)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LsmUpsert);
+
+void BM_LsmPointLookup(benchmark::State& state) {
+  auto ds = LoadedDataset(5000);
+  int64_t i = 0;
+  for (auto _ : state) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "M%07lld", static_cast<long long>(i++ % 5000));
+    benchmark::DoNotOptimize(ds->Get(Value::MakeString(key)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LsmPointLookup);
+
+void BM_LsmScan(benchmark::State& state) {
+  auto ds = LoadedDataset(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto snap = ds->Scan();
+    benchmark::DoNotOptimize(snap);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LsmScan)->Arg(1000)->Arg(5000);
+
+void BM_RtreeProbe(benchmark::State& state) {
+  auto ds = LoadedDataset(static_cast<size_t>(state.range(0)));
+  (void)ds->CreateIndex("loc", "monument_location", "rtree");
+  idea::Rng rng(3);
+  for (auto _ : state) {
+    double x = rng.NextDouble() * 180 - 90;
+    double y = rng.NextDouble() * 360 - 180;
+    std::vector<Value> out;
+    benchmark::DoNotOptimize(
+        ds->ProbeIndexMbr("monument_location",
+                          {{x - 1.5, y - 1.5}, {x + 1.5, y + 1.5}}, &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RtreeProbe)->Arg(1000)->Arg(5000);
+
+void BM_BtreeProbe(benchmark::State& state) {
+  auto ds = std::make_unique<LsmDataset>(
+      "bench",
+      idea::adm::Datatype("T", {{"wid", idea::adm::FieldType::kString, false}}), "wid");
+  for (auto& rec : idea::workload::GenSensitiveWords(2000, 200, 5)) {
+    (void)ds->Upsert(std::move(rec));
+  }
+  (void)ds->CreateIndex("byCountry", "country", "btree");
+  idea::Rng rng(4);
+  for (auto _ : state) {
+    std::vector<Value> out;
+    benchmark::DoNotOptimize(ds->ProbeIndexEquals(
+        "country", Value::MakeString(idea::workload::CountryCode(rng.NextBelow(200))),
+        &out));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BtreeProbe);
+
+void BM_WalAppendFlush(benchmark::State& state) {
+  idea::storage::Wal wal;
+  int64_t i = 0;
+  for (auto _ : state) {
+    idea::storage::WalRecord rec;
+    rec.type = idea::storage::WalRecordType::kUpsert;
+    rec.seqno = static_cast<uint64_t>(i);
+    rec.key = Value::MakeInt(i);
+    rec.record = Value::MakeObject({{"id", Value::MakeInt(i)}});
+    benchmark::DoNotOptimize(wal.Append(rec));
+    if (++i % 420 == 0) benchmark::DoNotOptimize(wal.Flush());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WalAppendFlush);
+
+}  // namespace
+
+BENCHMARK_MAIN();

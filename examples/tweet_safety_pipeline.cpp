@@ -1,0 +1,113 @@
+// Tweet safety pipeline: the paper's running example (Figures 8 and 12) —
+// a stateful SQL++ UDF consulting a SensitiveWords reference dataset is
+// attached to a feed; while the feed runs, the keyword list is UPSERTed, and
+// because the dynamic framework refreshes the UDF's intermediate state per
+// computing job, later tweets are flagged with the *new* keywords.
+//
+//   ./examples/tweet_safety_pipeline
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "idea.h"
+
+using namespace idea;
+
+namespace {
+void Check(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "error (%s): %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+}  // namespace
+
+int main() {
+  InstanceOptions options;
+  options.cluster.nodes = 3;
+  options.cluster.mode = cluster::ExecutionMode::kThreads;
+  Instance db(options);
+
+  Check(db.ExecuteScript(R"(
+    CREATE TYPE TweetType AS OPEN { id: int64, text: string, country: string };
+    CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+    CREATE TYPE SensitiveWordType AS OPEN { wid: string, country: string, word: string };
+    CREATE DATASET SensitiveWords(SensitiveWordType) PRIMARY KEY wid;
+    UPSERT INTO SensitiveWords ([
+      {"wid": "W1", "country": "US", "word": "bomb"}
+    ]);
+  )"),
+        "DDL");
+
+  // Figure 8: the stateful safety-check UDF.
+  Check(db.ExecuteSqlpp(R"(
+    CREATE FUNCTION tweetSafetyCheck(tweet) {
+      LET safety_check_flag = CASE
+        EXISTS(SELECT s FROM SensitiveWords s
+               WHERE tweet.country = s.country AND
+                     contains(tweet.text, s.word))
+        WHEN true THEN "Red" ELSE "Green"
+      END
+      SELECT tweet.*, safety_check_flag
+    };
+  )").status(),
+        "UDF");
+
+  // Figure 12: attach it to the feed.
+  Check(db.ExecuteScript(R"(
+    CREATE FEED TweetFeed WITH { "type-name": "TweetType", "batch-size": "30" };
+    CONNECT FEED TweetFeed TO DATASET EnrichedTweets APPLY FUNCTION tweetSafetyCheck;
+  )"),
+        "feed DDL");
+
+  // A slow generator so we can update the reference data mid-stream. All
+  // tweets say "storm warning" from the US; "storm" only becomes a sensitive
+  // word while the feed is running.
+  std::atomic<int64_t> next_id{0};
+  Check(db.SetFeedAdapterFactory(
+            "TweetFeed",
+            [&](size_t, size_t) -> Result<std::unique_ptr<feed::FeedAdapter>> {
+              return std::unique_ptr<feed::FeedAdapter>(
+                  std::make_unique<feed::GeneratorAdapter>([&](std::string* out) {
+                    int64_t id = next_id.fetch_add(1);
+                    if (id >= 600) return false;
+                    *out = "{\"id\": " + std::to_string(id) +
+                           ", \"text\": \"storm warning tonight\", \"country\": \"US\"}";
+                    std::this_thread::sleep_for(std::chrono::microseconds(500));
+                    return true;
+                  }));
+            }),
+        "attach adapter");
+
+  std::printf("feed running; adding keyword 'storm' mid-stream...\n");
+  Check(db.ExecuteSqlpp("START FEED TweetFeed;").status(), "START FEED");
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  // The paper's point: a reference-data UPSERT, no redeploy needed.
+  Check(db.ExecuteSqlpp(R"(UPSERT INTO SensitiveWords ([
+          {"wid": "W2", "country": "US", "word": "storm"}
+        ]);)").status(),
+        "upsert keyword");
+  int64_t upsert_at = next_id.load();
+  auto stats = db.WaitForFeed("TweetFeed");
+  Check(stats.status(), "wait");
+
+  auto flagged = db.ExecuteSqlpp(R"(
+    SELECT t.safety_check_flag AS flag, count(*) AS num, min(t.id) AS first_id
+    FROM EnrichedTweets t GROUP BY t.safety_check_flag ORDER BY t.safety_check_flag;
+  )");
+  Check(flagged.status(), "query");
+  std::printf("\nkeyword added while tweet ~%lld was being generated\n",
+              static_cast<long long>(upsert_at));
+  for (const auto& row : *flagged) {
+    std::printf("  %-6s %4lld tweets (first id %lld)\n",
+                row.GetField("flag")->AsString().c_str(),
+                static_cast<long long>(row.GetField("num")->AsInt()),
+                static_cast<long long>(row.GetField("first_id")->AsInt()));
+  }
+  std::printf(
+      "\nearly tweets stayed Green (state built before the upsert); once the next\n"
+      "computing job refreshed its state, everything turned Red — the paper's\n"
+      "Model-2 batch sensitivity (4.3.3).\n");
+  return 0;
+}

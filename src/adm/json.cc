@@ -1,0 +1,398 @@
+#include "adm/json.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "adm/temporal.h"
+#include "common/string_util.h"
+
+namespace idea::adm {
+
+namespace {
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, size_t pos) : text_(text), pos_(pos) {}
+
+  Result<Value> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+      case 'f':
+        return ParseBool();
+      case 'n':
+        return ParseNull();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        return Err(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  size_t pos() const { return pos_; }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+ private:
+  Status Err(const std::string& msg) {
+    return Status::ParseError("json at offset " + std::to_string(pos_) + ": " + msg);
+  }
+
+  Result<Value> ParseObject() {
+    ++pos_;  // '{'
+    Fields fields;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Value::MakeObject(std::move(fields));
+    }
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return Err("expected field name");
+      IDEA_ASSIGN_OR_RETURN(Value name, ParseString());
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Err("expected ':'");
+      ++pos_;
+      IDEA_ASSIGN_OR_RETURN(Value val, ParseValue());
+      fields.emplace_back(name.AsString(), std::move(val));
+      SkipWs();
+      if (pos_ >= text_.size()) return Err("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return Value::MakeObject(std::move(fields));
+      }
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Result<Value> ParseArray() {
+    ++pos_;  // '['
+    Array elems;
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Value::MakeArray(std::move(elems));
+    }
+    while (true) {
+      IDEA_ASSIGN_OR_RETURN(Value val, ParseValue());
+      elems.push_back(std::move(val));
+      SkipWs();
+      if (pos_ >= text_.size()) return Err("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return Value::MakeArray(std::move(elems));
+      }
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<Value> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Value::MakeString(std::move(out));
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Err("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Err("bad \\u escape digit");
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs collapse to
+            // '?' — sufficient for the synthetic workloads).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else if (code >= 0xD800 && code <= 0xDFFF) {
+              out.push_back('?');
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Err("bad escape character");
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Err("unterminated string");
+  }
+
+  Result<Value> ParseBool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return Value::MakeBool(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return Value::MakeBool(false);
+    }
+    return Err("bad literal");
+  }
+
+  Result<Value> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return Value::MakeNull();
+    }
+    return Err("bad literal");
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    bool is_double = false;
+    if (text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        // '+'/'-' only valid inside exponents; strtod validates below.
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        if (c == '-' || c == '+') {
+          char prev = text_[pos_ - 1];
+          if (prev != 'e' && prev != 'E') break;
+        }
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string tok = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (errno == 0 && end == tok.c_str() + tok.size()) {
+        return Value::MakeInt(static_cast<int64_t>(v));
+      }
+      // Falls through to double on overflow.
+    }
+    char* end = nullptr;
+    double d = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return Err("malformed number '" + tok + "'");
+    return Value::MakeDouble(d);
+  }
+
+  const std::string& text_;
+  size_t pos_;
+};
+
+void PrintJsonTo(const Value& v, std::string* out);
+
+void PrintNumber(double d, std::string* out) {
+  if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+    // Keeps a trailing ".0" so doubles survive a parse round-trip as doubles.
+    out->append(StringPrintf("%.1f", d));
+  } else {
+    out->append(StringPrintf("%.17g", d));
+  }
+}
+
+void PrintJsonTo(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kMissing:
+      out->append("missing");
+      return;
+    case ValueType::kNull:
+      out->append("null");
+      return;
+    case ValueType::kBoolean:
+      out->append(v.AsBool() ? "true" : "false");
+      return;
+    case ValueType::kInt64:
+      out->append(std::to_string(v.AsInt()));
+      return;
+    case ValueType::kDouble:
+      PrintNumber(v.AsDouble(), out);
+      return;
+    case ValueType::kString:
+      out->append(JsonQuote(v.AsString()));
+      return;
+    case ValueType::kDateTime:
+      out->append("datetime(\"" + PrintDateTime(v.AsDateTime()) + "\")");
+      return;
+    case ValueType::kDuration:
+      out->append("duration(\"" + PrintDuration(v.AsDuration()) + "\")");
+      return;
+    case ValueType::kPoint: {
+      const Point& p = v.AsPoint();
+      out->append(StringPrintf("point(\"%g,%g\")", p.x, p.y));
+      return;
+    }
+    case ValueType::kRectangle: {
+      const Rectangle& r = v.AsRectangle();
+      out->append(StringPrintf("rectangle(\"%g,%g %g,%g\")", r.lo.x, r.lo.y, r.hi.x,
+                               r.hi.y));
+      return;
+    }
+    case ValueType::kCircle: {
+      const Circle& c = v.AsCircle();
+      out->append(StringPrintf("circle(\"%g,%g %g\")", c.center.x, c.center.y, c.radius));
+      return;
+    }
+    case ValueType::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Value& e : v.AsArray()) {
+        if (!first) out->push_back(',');
+        first = false;
+        PrintJsonTo(e, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case ValueType::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [name, val] : v.AsObject()) {
+        if (!first) out->push_back(',');
+        first = false;
+        out->append(JsonQuote(name));
+        out->push_back(':');
+        PrintJsonTo(val, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Value> ParseJson(const std::string& text) {
+  size_t pos = 0;
+  IDEA_ASSIGN_OR_RETURN(Value v, ParseJsonPrefix(text, &pos));
+  // Reject trailing garbage.
+  while (pos < text.size()) {
+    char c = text[pos];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++pos;
+    } else {
+      return Status::ParseError("trailing characters after JSON value at offset " +
+                                std::to_string(pos));
+    }
+  }
+  return v;
+}
+
+Result<Value> ParseJsonPrefix(const std::string& text, size_t* pos) {
+  JsonParser p(text, *pos);
+  auto res = p.ParseValue();
+  if (res.ok()) *pos = p.pos();
+  return res;
+}
+
+std::string PrintJson(const Value& v) {
+  std::string out;
+  PrintJsonTo(v, &out);
+  return out;
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out.append(StringPrintf("\\u%04x", c));
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace idea::adm

@@ -1,0 +1,31 @@
+// JSON text parsing and printing for ADM values.
+//
+// Parsing accepts standard JSON; integers without a fractional part become
+// int64, everything else numeric becomes double. Extended ADM types
+// (datetime, point, ...) enter the system either through datatype coercion
+// (adm/datatype.h) or through SQL++ constructor functions.
+#pragma once
+
+#include <string>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace idea::adm {
+
+/// Parses one JSON value from `text`. Trailing non-whitespace is an error.
+Result<Value> ParseJson(const std::string& text);
+
+/// Parses one JSON value starting at `*pos`; on success advances `*pos` past
+/// the value (used by the feed record parsers to cut records out of a byte
+/// stream without copying line-framing assumptions).
+Result<Value> ParseJsonPrefix(const std::string& text, size_t* pos);
+
+/// Compact single-line rendering. Extended types print as AsterixDB-style
+/// constructors: datetime("..."), point("x,y"), etc.
+std::string PrintJson(const Value& v);
+
+/// Escapes a string for embedding in JSON output (adds surrounding quotes).
+std::string JsonQuote(const std::string& s);
+
+}  // namespace idea::adm

@@ -1,0 +1,168 @@
+#include "adm/serde.h"
+
+namespace idea::adm {
+
+void SerializeValue(const Value& v, ByteBuffer* buf) {
+  buf->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kMissing:
+    case ValueType::kNull:
+      return;
+    case ValueType::kBoolean:
+      buf->PutU8(v.AsBool() ? 1 : 0);
+      return;
+    case ValueType::kInt64:
+      buf->PutVarint64(ZigZagEncode(v.AsInt()));
+      return;
+    case ValueType::kDouble:
+      buf->PutDouble(v.AsDouble());
+      return;
+    case ValueType::kString:
+      buf->PutString(v.AsString());
+      return;
+    case ValueType::kDateTime:
+      buf->PutVarint64(ZigZagEncode(v.AsDateTime().epoch_ms));
+      return;
+    case ValueType::kDuration:
+      buf->PutVarint64(ZigZagEncode(v.AsDuration().months));
+      buf->PutVarint64(ZigZagEncode(v.AsDuration().millis));
+      return;
+    case ValueType::kPoint:
+      buf->PutDouble(v.AsPoint().x);
+      buf->PutDouble(v.AsPoint().y);
+      return;
+    case ValueType::kRectangle:
+      buf->PutDouble(v.AsRectangle().lo.x);
+      buf->PutDouble(v.AsRectangle().lo.y);
+      buf->PutDouble(v.AsRectangle().hi.x);
+      buf->PutDouble(v.AsRectangle().hi.y);
+      return;
+    case ValueType::kCircle:
+      buf->PutDouble(v.AsCircle().center.x);
+      buf->PutDouble(v.AsCircle().center.y);
+      buf->PutDouble(v.AsCircle().radius);
+      return;
+    case ValueType::kArray: {
+      buf->PutVarint64(v.AsArray().size());
+      for (const Value& e : v.AsArray()) SerializeValue(e, buf);
+      return;
+    }
+    case ValueType::kObject: {
+      buf->PutVarint64(v.AsObject().size());
+      for (const auto& [name, val] : v.AsObject()) {
+        buf->PutString(name);
+        SerializeValue(val, buf);
+      }
+      return;
+    }
+  }
+}
+
+Result<Value> DeserializeValue(ByteReader* reader) {
+  uint8_t tag;
+  IDEA_RETURN_NOT_OK(reader->GetU8(&tag));
+  if (tag > static_cast<uint8_t>(ValueType::kObject)) {
+    return Status::Corruption("bad value tag " + std::to_string(tag));
+  }
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kMissing:
+      return Value::MakeMissing();
+    case ValueType::kNull:
+      return Value::MakeNull();
+    case ValueType::kBoolean: {
+      uint8_t b;
+      IDEA_RETURN_NOT_OK(reader->GetU8(&b));
+      return Value::MakeBool(b != 0);
+    }
+    case ValueType::kInt64: {
+      uint64_t z;
+      IDEA_RETURN_NOT_OK(reader->GetVarint64(&z));
+      return Value::MakeInt(ZigZagDecode(z));
+    }
+    case ValueType::kDouble: {
+      double d;
+      IDEA_RETURN_NOT_OK(reader->GetDouble(&d));
+      return Value::MakeDouble(d);
+    }
+    case ValueType::kString: {
+      std::string s;
+      IDEA_RETURN_NOT_OK(reader->GetString(&s));
+      return Value::MakeString(std::move(s));
+    }
+    case ValueType::kDateTime: {
+      uint64_t z;
+      IDEA_RETURN_NOT_OK(reader->GetVarint64(&z));
+      return Value::MakeDateTime(DateTime{ZigZagDecode(z)});
+    }
+    case ValueType::kDuration: {
+      uint64_t zm, zl;
+      IDEA_RETURN_NOT_OK(reader->GetVarint64(&zm));
+      IDEA_RETURN_NOT_OK(reader->GetVarint64(&zl));
+      return Value::MakeDuration(
+          Duration{static_cast<int32_t>(ZigZagDecode(zm)), ZigZagDecode(zl)});
+    }
+    case ValueType::kPoint: {
+      Point p;
+      IDEA_RETURN_NOT_OK(reader->GetDouble(&p.x));
+      IDEA_RETURN_NOT_OK(reader->GetDouble(&p.y));
+      return Value::MakePoint(p);
+    }
+    case ValueType::kRectangle: {
+      Rectangle r;
+      IDEA_RETURN_NOT_OK(reader->GetDouble(&r.lo.x));
+      IDEA_RETURN_NOT_OK(reader->GetDouble(&r.lo.y));
+      IDEA_RETURN_NOT_OK(reader->GetDouble(&r.hi.x));
+      IDEA_RETURN_NOT_OK(reader->GetDouble(&r.hi.y));
+      return Value::MakeRectangle(r);
+    }
+    case ValueType::kCircle: {
+      Circle c;
+      IDEA_RETURN_NOT_OK(reader->GetDouble(&c.center.x));
+      IDEA_RETURN_NOT_OK(reader->GetDouble(&c.center.y));
+      IDEA_RETURN_NOT_OK(reader->GetDouble(&c.radius));
+      return Value::MakeCircle(c);
+    }
+    case ValueType::kArray: {
+      uint64_t n;
+      IDEA_RETURN_NOT_OK(reader->GetVarint64(&n));
+      if (n > reader->remaining()) return Status::Corruption("array length too large");
+      Array elems;
+      elems.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        IDEA_ASSIGN_OR_RETURN(Value e, DeserializeValue(reader));
+        elems.push_back(std::move(e));
+      }
+      return Value::MakeArray(std::move(elems));
+    }
+    case ValueType::kObject: {
+      uint64_t n;
+      IDEA_RETURN_NOT_OK(reader->GetVarint64(&n));
+      if (n > reader->remaining()) return Status::Corruption("object size too large");
+      Fields fields;
+      fields.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        std::string name;
+        IDEA_RETURN_NOT_OK(reader->GetString(&name));
+        IDEA_ASSIGN_OR_RETURN(Value val, DeserializeValue(reader));
+        fields.emplace_back(std::move(name), std::move(val));
+      }
+      return Value::MakeObject(std::move(fields));
+    }
+  }
+  return Status::Corruption("unreachable value tag");
+}
+
+std::vector<uint8_t> SerializeToBytes(const Value& v) {
+  ByteBuffer buf;
+  SerializeValue(v, &buf);
+  return buf.Release();
+}
+
+Result<Value> DeserializeFromBytes(const std::vector<uint8_t>& bytes) {
+  ByteReader reader(bytes);
+  IDEA_ASSIGN_OR_RETURN(Value v, DeserializeValue(&reader));
+  if (!reader.AtEnd()) return Status::Corruption("trailing bytes after value");
+  return v;
+}
+
+}  // namespace idea::adm

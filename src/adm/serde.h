@@ -1,0 +1,21 @@
+// Compact binary serialization of ADM values: the wire format for frames
+// flowing between jobs and the storage format for LSM components and the WAL.
+#pragma once
+
+#include "adm/value.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace idea::adm {
+
+/// Appends the binary encoding of `v` to `buf`.
+void SerializeValue(const Value& v, ByteBuffer* buf);
+
+/// Reads one value from the reader (fails with Corruption on malformed input).
+Result<Value> DeserializeValue(ByteReader* reader);
+
+/// Convenience: full round trips through a standalone byte vector.
+std::vector<uint8_t> SerializeToBytes(const Value& v);
+Result<Value> DeserializeFromBytes(const std::vector<uint8_t>& bytes);
+
+}  // namespace idea::adm

@@ -1,0 +1,87 @@
+#include "adm/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace idea::adm {
+
+double Distance(const Point& a, const Point& b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+bool RectContainsPoint(const Rectangle& r, const Point& p) {
+  return p.x >= r.lo.x && p.x <= r.hi.x && p.y >= r.lo.y && p.y <= r.hi.y;
+}
+
+bool RectIntersectsRect(const Rectangle& a, const Rectangle& b) {
+  return a.lo.x <= b.hi.x && b.lo.x <= a.hi.x && a.lo.y <= b.hi.y && b.lo.y <= a.hi.y;
+}
+
+bool CircleContainsPoint(const Circle& c, const Point& p) {
+  return Distance(c.center, p) <= c.radius;
+}
+
+bool CircleIntersectsRect(const Circle& c, const Rectangle& r) {
+  // Distance from center to the rectangle (0 if inside).
+  double cx = std::clamp(c.center.x, r.lo.x, r.hi.x);
+  double cy = std::clamp(c.center.y, r.lo.y, r.hi.y);
+  return Distance(c.center, Point{cx, cy}) <= c.radius;
+}
+
+bool CircleIntersectsCircle(const Circle& a, const Circle& b) {
+  return Distance(a.center, b.center) <= a.radius + b.radius;
+}
+
+bool SpatialIntersect(const Value& a, const Value& b) {
+  if (a.IsUnknown() || b.IsUnknown()) return false;
+  if (a.IsPoint() && b.IsPoint()) return a.AsPoint() == b.AsPoint();
+  if (a.IsPoint() && b.IsRectangle()) return RectContainsPoint(b.AsRectangle(), a.AsPoint());
+  if (a.IsRectangle() && b.IsPoint()) return RectContainsPoint(a.AsRectangle(), b.AsPoint());
+  if (a.IsPoint() && b.IsCircle()) return CircleContainsPoint(b.AsCircle(), a.AsPoint());
+  if (a.IsCircle() && b.IsPoint()) return CircleContainsPoint(a.AsCircle(), b.AsPoint());
+  if (a.IsRectangle() && b.IsRectangle())
+    return RectIntersectsRect(a.AsRectangle(), b.AsRectangle());
+  if (a.IsCircle() && b.IsRectangle())
+    return CircleIntersectsRect(a.AsCircle(), b.AsRectangle());
+  if (a.IsRectangle() && b.IsCircle())
+    return CircleIntersectsRect(b.AsCircle(), a.AsRectangle());
+  if (a.IsCircle() && b.IsCircle()) return CircleIntersectsCircle(a.AsCircle(), b.AsCircle());
+  return false;
+}
+
+double SpatialDistance(const Value& a, const Value& b) {
+  if (a.IsPoint() && b.IsPoint()) return Distance(a.AsPoint(), b.AsPoint());
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+bool ValueMbr(const Value& v, Rectangle* out) {
+  switch (v.type()) {
+    case ValueType::kPoint:
+      *out = Rectangle{v.AsPoint(), v.AsPoint()};
+      return true;
+    case ValueType::kRectangle:
+      *out = v.AsRectangle();
+      return true;
+    case ValueType::kCircle: {
+      const Circle& c = v.AsCircle();
+      *out = Rectangle{{c.center.x - c.radius, c.center.y - c.radius},
+                       {c.center.x + c.radius, c.center.y + c.radius}};
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+Rectangle MbrUnion(const Rectangle& a, const Rectangle& b) {
+  return Rectangle{{std::min(a.lo.x, b.lo.x), std::min(a.lo.y, b.lo.y)},
+                   {std::max(a.hi.x, b.hi.x), std::max(a.hi.y, b.hi.y)}};
+}
+
+double MbrArea(const Rectangle& r) {
+  return std::max(0.0, r.hi.x - r.lo.x) * std::max(0.0, r.hi.y - r.lo.y);
+}
+
+}  // namespace idea::adm

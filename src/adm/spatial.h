@@ -1,0 +1,36 @@
+// Spatial predicates and measures over ADM geometry types, plus the MBR
+// (minimum bounding rectangle) helpers shared with the R-tree index.
+#pragma once
+
+#include "adm/value.h"
+
+namespace idea::adm {
+
+/// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+bool RectContainsPoint(const Rectangle& r, const Point& p);
+bool RectIntersectsRect(const Rectangle& a, const Rectangle& b);
+bool CircleContainsPoint(const Circle& c, const Point& p);
+bool CircleIntersectsRect(const Circle& c, const Rectangle& r);
+bool CircleIntersectsCircle(const Circle& a, const Circle& b);
+
+/// SQL++ spatial_intersect over any combination of point/rectangle/circle
+/// values; MISSING/NULL inputs yield false (unknown treated as no match, as
+/// in a WHERE clause). Unsupported type combinations also yield false.
+bool SpatialIntersect(const Value& a, const Value& b);
+
+/// SQL++ spatial_distance; defined for point-point, otherwise NaN.
+double SpatialDistance(const Value& a, const Value& b);
+
+/// MBR of a geometry value (point/rectangle/circle). Returns false for
+/// non-geometry values.
+bool ValueMbr(const Value& v, Rectangle* out);
+
+/// Smallest rectangle covering both inputs.
+Rectangle MbrUnion(const Rectangle& a, const Rectangle& b);
+
+/// Area of a rectangle (width * height).
+double MbrArea(const Rectangle& r);
+
+}  // namespace idea::adm

@@ -1,0 +1,227 @@
+#include "adm/temporal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace idea::adm {
+
+namespace {
+
+// Civil-date <-> day-count conversions (Howard Hinnant's algorithms),
+// proleptic Gregorian calendar, days since 1970-01-01.
+int64_t DaysFromCivil(int64_t y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+                       static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned dd = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned mm = mp + (mp < 10 ? 3 : -9);
+  *y = yy + (mm <= 2);
+  *m = static_cast<int>(mm);
+  *d = static_cast<int>(dd);
+}
+
+bool IsLeap(int64_t y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int64_t y, int m) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+}  // namespace
+
+DateTime MakeDateTimeUtc(int year, int month, int day, int hour, int minute, int second,
+                         int millis) {
+  int64_t days = DaysFromCivil(year, month, day);
+  int64_t ms = ((days * 24 + hour) * 60 + minute) * 60 + second;
+  return DateTime{ms * 1000 + millis};
+}
+
+Result<DateTime> ParseDateTime(const std::string& iso) {
+  int year, month, day, hour = 0, minute = 0, second = 0;
+  double frac = 0;
+  // Accepts "YYYY-MM-DD", "YYYY-MM-DDThh:mm:ss", optional ".sss", optional 'Z'.
+  int consumed = 0;
+  if (std::sscanf(iso.c_str(), "%d-%d-%d%n", &year, &month, &day, &consumed) != 3) {
+    return Status::ParseError("bad datetime '" + iso + "'");
+  }
+  size_t pos = static_cast<size_t>(consumed);
+  if (pos < iso.size() && (iso[pos] == 'T' || iso[pos] == ' ')) {
+    ++pos;
+    int c2 = 0;
+    if (std::sscanf(iso.c_str() + pos, "%d:%d:%d%n", &hour, &minute, &second, &c2) != 3) {
+      return Status::ParseError("bad datetime time part '" + iso + "'");
+    }
+    pos += static_cast<size_t>(c2);
+    if (pos < iso.size() && iso[pos] == '.') {
+      size_t fs = pos;
+      ++pos;
+      while (pos < iso.size() && iso[pos] >= '0' && iso[pos] <= '9') ++pos;
+      frac = std::strtod(iso.substr(fs, pos - fs).c_str(), nullptr);
+    }
+  }
+  if (pos < iso.size() && (iso[pos] == 'Z' || iso[pos] == 'z')) ++pos;
+  if (pos != iso.size()) return Status::ParseError("trailing datetime chars '" + iso + "'");
+  if (month < 1 || month > 12 || day < 1 || day > DaysInMonth(year, month) || hour > 23 ||
+      minute > 59 || second > 60) {
+    return Status::ParseError("out-of-range datetime '" + iso + "'");
+  }
+  DateTime dt = MakeDateTimeUtc(year, month, day, hour, minute, second);
+  dt.epoch_ms += static_cast<int64_t>(frac * 1000.0 + 0.5);
+  return dt;
+}
+
+std::string PrintDateTime(const DateTime& dt) {
+  int64_t ms = dt.epoch_ms;
+  int64_t days = ms / 86400000;
+  int64_t rem = ms % 86400000;
+  if (rem < 0) {
+    rem += 86400000;
+    --days;
+  }
+  int64_t y;
+  int m, d;
+  CivilFromDays(days, &y, &m, &d);
+  int millis = static_cast<int>(rem % 1000);
+  rem /= 1000;
+  int sec = static_cast<int>(rem % 60);
+  rem /= 60;
+  int minute = static_cast<int>(rem % 60);
+  int hour = static_cast<int>(rem / 60);
+  return StringPrintf("%04lld-%02d-%02dT%02d:%02d:%02d.%03dZ", static_cast<long long>(y),
+                      m, d, hour, minute, sec, millis);
+}
+
+Result<Duration> ParseDuration(const std::string& iso) {
+  if (iso.empty() || iso[0] != 'P') return Status::ParseError("bad duration '" + iso + "'");
+  Duration out;
+  bool in_time = false;
+  size_t pos = 1;
+  bool any = false;
+  while (pos < iso.size()) {
+    if (iso[pos] == 'T') {
+      in_time = true;
+      ++pos;
+      continue;
+    }
+    char* end = nullptr;
+    double num = std::strtod(iso.c_str() + pos, &end);
+    if (end == iso.c_str() + pos) return Status::ParseError("bad duration '" + iso + "'");
+    pos = static_cast<size_t>(end - iso.c_str());
+    if (pos >= iso.size()) return Status::ParseError("bad duration '" + iso + "'");
+    char unit = iso[pos++];
+    any = true;
+    int64_t n = static_cast<int64_t>(num);
+    if (!in_time) {
+      switch (unit) {
+        case 'Y':
+          out.months += static_cast<int32_t>(n * 12);
+          break;
+        case 'M':
+          out.months += static_cast<int32_t>(n);
+          break;
+        case 'W':
+          out.millis += n * 7 * 86400000;
+          break;
+        case 'D':
+          out.millis += n * 86400000;
+          break;
+        default:
+          return Status::ParseError("bad duration unit '" + iso + "'");
+      }
+    } else {
+      switch (unit) {
+        case 'H':
+          out.millis += n * 3600000;
+          break;
+        case 'M':
+          out.millis += n * 60000;
+          break;
+        case 'S':
+          out.millis += static_cast<int64_t>(num * 1000.0);
+          break;
+        default:
+          return Status::ParseError("bad duration unit '" + iso + "'");
+      }
+    }
+  }
+  if (!any) return Status::ParseError("empty duration '" + iso + "'");
+  return out;
+}
+
+std::string PrintDuration(const Duration& d) {
+  std::string out = "P";
+  int32_t months = d.months;
+  if (months != 0) {
+    int32_t years = months / 12;
+    months %= 12;
+    if (years != 0) out += std::to_string(years) + "Y";
+    if (months != 0) out += std::to_string(months) + "M";
+  }
+  int64_t ms = d.millis;
+  int64_t days = ms / 86400000;
+  ms %= 86400000;
+  if (days != 0) out += std::to_string(days) + "D";
+  if (ms != 0) {
+    out += "T";
+    int64_t h = ms / 3600000;
+    ms %= 3600000;
+    int64_t minute = ms / 60000;
+    ms %= 60000;
+    if (h != 0) out += std::to_string(h) + "H";
+    if (minute != 0) out += std::to_string(minute) + "M";
+    if (ms != 0) {
+      if (ms % 1000 == 0) {
+        out += std::to_string(ms / 1000) + "S";
+      } else {
+        out += StringPrintf("%.3fS", static_cast<double>(ms) / 1000.0);
+      }
+    }
+  }
+  if (out == "P") out = "PT0S";
+  return out;
+}
+
+DateTime AddDuration(const DateTime& dt, const Duration& dur) {
+  int64_t ms = dt.epoch_ms;
+  if (dur.months != 0) {
+    int64_t days = ms / 86400000;
+    int64_t rem = ms % 86400000;
+    if (rem < 0) {
+      rem += 86400000;
+      --days;
+    }
+    int64_t y;
+    int m, d;
+    CivilFromDays(days, &y, &m, &d);
+    int64_t total_months = y * 12 + (m - 1) + dur.months;
+    int64_t ny = total_months / 12;
+    int nm = static_cast<int>(total_months % 12);
+    if (nm < 0) {
+      nm += 12;
+      --ny;
+    }
+    ++nm;  // back to 1-based
+    int nd = std::min(d, DaysInMonth(ny, nm));
+    ms = DaysFromCivil(ny, nm, nd) * 86400000 + rem;
+  }
+  return DateTime{ms + dur.millis};
+}
+
+}  // namespace idea::adm

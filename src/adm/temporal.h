@@ -1,0 +1,33 @@
+// Temporal arithmetic: ISO-8601 datetime and duration parsing/printing and
+// calendar-aware datetime + duration addition (needed by the Worrisome
+// Tweets UDF: `t.created_at < a.attack_datetime + duration("P2M")`).
+#pragma once
+
+#include <string>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace idea::adm {
+
+/// Parses "YYYY-MM-DDThh:mm:ss[.sss][Z]" (UTC assumed) into a DateTime.
+Result<DateTime> ParseDateTime(const std::string& iso);
+
+/// Renders as "YYYY-MM-DDThh:mm:ss.sssZ".
+std::string PrintDateTime(const DateTime& dt);
+
+/// Parses an ISO-8601 duration like "P2M", "P1Y2M3DT4H5M6S".
+Result<Duration> ParseDuration(const std::string& iso);
+
+/// Renders back to ISO-8601 (normalized, e.g. "P2M", "PT1H30M").
+std::string PrintDuration(const Duration& d);
+
+/// Calendar-aware addition: the month component shifts the civil date (with
+/// day clamped into the target month), the millisecond component then adds.
+DateTime AddDuration(const DateTime& dt, const Duration& d);
+
+/// Builds a DateTime from civil UTC components (month 1-12, day 1-31).
+DateTime MakeDateTimeUtc(int year, int month, int day, int hour = 0, int minute = 0,
+                         int second = 0, int millis = 0);
+
+}  // namespace idea::adm

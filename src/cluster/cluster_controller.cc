@@ -1,0 +1,52 @@
+#include "cluster/cluster_controller.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/virtual_clock.h"
+
+namespace idea::cluster {
+
+Cluster::Cluster(ClusterConfig config) : config_(config), cost_model_(config.costs) {
+  for (size_t i = 0; i < config_.nodes; ++i) {
+    nodes_.push_back(std::make_unique<NodeController>(i));
+  }
+}
+
+std::vector<double> Cluster::MeasureNodeTasks(
+    const std::vector<std::function<void()>>& per_node_work) const {
+  std::vector<double> cpu_micros(per_node_work.size(), 0);
+  size_t workers = std::max<size_t>(1, std::min(config_.host_workers,
+                                                per_node_work.size()));
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      size_t i = next.fetch_add(1);
+      if (i >= per_node_work.size()) return;
+      ThreadCpuTimer timer;
+      timer.Start();
+      per_node_work[i]();
+      cpu_micros[i] = cost_model_.ScaleCpu(timer.ElapsedMicros());
+    }
+  };
+  if (workers == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+  return cpu_micros;
+}
+
+double Cluster::ParallelStepMicros(
+    const std::vector<std::function<void()>>& per_node_work) const {
+  std::vector<double> cpu = MeasureNodeTasks(per_node_work);
+  double makespan = 0;
+  for (double c : cpu) makespan = std::max(makespan, c);
+  return makespan;
+}
+
+}  // namespace idea::cluster

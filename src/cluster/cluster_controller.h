@@ -1,0 +1,63 @@
+// Cluster Controller (CC) / simulated cluster. One CC coordinates N Node
+// Controllers (paper §6.1): it starts jobs, tracks feeds (via the Active
+// Feed Manager in src/feed), and owns the predeployed-job cache.
+//
+// Two execution modes:
+//   * kThreads     — every partitioned task really runs on its own thread
+//                    (wall-clock timing; integration tests / examples).
+//   * kVirtualTime — tasks still execute (on a small worker pool) but each
+//                    task's *thread CPU time* is measured and node-parallel
+//                    elapsed time is computed analytically together with the
+//                    CostModel; this is how a 2-core container reproduces
+//                    24-node scaling shapes. See DESIGN.md.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "cluster/node_controller.h"
+#include "runtime/predeployed.h"
+
+namespace idea::cluster {
+
+enum class ExecutionMode : uint8_t { kThreads, kVirtualTime };
+
+struct ClusterConfig {
+  size_t nodes = 3;
+  ExecutionMode mode = ExecutionMode::kVirtualTime;
+  CostModelConfig costs;
+  /// Host worker threads used to execute virtual-time tasks.
+  size_t host_workers = 2;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  size_t node_count() const { return nodes_.size(); }
+  NodeController& node(size_t i) { return *nodes_[i]; }
+  const CostModel& costs() const { return cost_model_; }
+  runtime::PredeployedJobManager& predeployed() { return predeployed_; }
+  ExecutionMode mode() const { return config_.mode; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Executes one task per node and returns each task's simulated CPU time
+  /// in microseconds (measured thread CPU, scaled by the cost model). Tasks
+  /// run concurrently on up to `host_workers` host threads.
+  std::vector<double> MeasureNodeTasks(
+      const std::vector<std::function<void()>>& per_node_work) const;
+
+  /// Convenience: simulated makespan of one parallel step = max of
+  /// MeasureNodeTasks (+ nothing else; callers add coordination costs).
+  double ParallelStepMicros(const std::vector<std::function<void()>>& per_node_work) const;
+
+ private:
+  ClusterConfig config_;
+  CostModel cost_model_;
+  std::vector<std::unique_ptr<NodeController>> nodes_;
+  runtime::PredeployedJobManager predeployed_;
+};
+
+}  // namespace idea::cluster

@@ -1,0 +1,3 @@
+#include "cluster/cost_model.h"
+
+// Header-only logic; this TU anchors the module.

@@ -1,0 +1,3 @@
+#include "cluster/node_controller.h"
+
+// Header-only logic; this TU anchors the module.

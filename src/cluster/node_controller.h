@@ -1,0 +1,32 @@
+// Node Controller (NC): per-node state of the simulated cluster — the node's
+// virtual clock and its partition-holder manager (paper §6.1: every worker
+// node runs an NC that takes computing tasks from the CC).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/virtual_clock.h"
+#include "runtime/partition_holder.h"
+
+namespace idea::cluster {
+
+class NodeController {
+ public:
+  explicit NodeController(size_t index)
+      : index_(index), id_("node-" + std::to_string(index)) {}
+
+  size_t index() const { return index_; }
+  const std::string& id() const { return id_; }
+
+  VirtualClock& clock() { return clock_; }
+  runtime::PartitionHolderManager& holders() { return holders_; }
+
+ private:
+  size_t index_;
+  std::string id_;
+  VirtualClock clock_;
+  runtime::PartitionHolderManager holders_;
+};
+
+}  // namespace idea::cluster

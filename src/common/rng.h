@@ -1,0 +1,38 @@
+// Deterministic random number generation for workload synthesis and tests.
+// All generators in the repo derive from explicit seeds so every experiment
+// is reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace idea {
+
+/// splitmix64: tiny, fast, and statistically adequate for workload synthesis.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next();
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+  /// Uniform in [0, 1).
+  double NextDouble();
+  /// True with probability p.
+  bool NextBool(double p);
+  /// Random lowercase ASCII string of the given length.
+  std::string NextAlpha(size_t len);
+  /// Picks a uniformly random element (by const reference).
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[NextBelow(v.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace idea

@@ -1,0 +1,36 @@
+// Small string helpers shared across modules (no locale dependence).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace idea {
+
+/// Splits on a single-character delimiter; keeps empty pieces.
+std::vector<std::string> SplitString(const std::string& s, char delim);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(const std::string& s);
+
+/// True if `haystack` contains `needle` (byte-wise).
+bool Contains(const std::string& haystack, const std::string& needle);
+
+/// Removes every character that is not [a-zA-Z] (the paper's Java UDF for
+/// cleaning Twitter screen names).
+std::string RemoveNonAlpha(const std::string& s);
+
+/// Levenshtein edit distance with an early-exit bound: returns a value
+/// > `bound` as soon as the distance provably exceeds `bound`
+/// (bound < 0 disables the early exit).
+int EditDistance(const std::string& a, const std::string& b, int bound = -1);
+
+/// Whitespace trim (ASCII).
+std::string Trim(const std::string& s);
+
+/// printf-style formatting into std::string.
+std::string StringPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+}  // namespace idea

@@ -1,0 +1,55 @@
+// Time accounting primitives for the cluster simulation.
+//
+// The paper's evaluation ran on a 24-node cluster; this repo runs on a small
+// container. The simulation executes *real* operator work but charges its
+// measured CPU time to per-node virtual clocks, so node-level parallelism is
+// accounted analytically while all computation still actually happens (see
+// DESIGN.md, "Hardware / platform substitutions").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace idea {
+
+/// Measures CPU time consumed by the *calling thread* between Start() and
+/// ElapsedMicros(). Immune to wall-clock contention when simulated nodes are
+/// multiplexed onto few physical cores. On kernels that quantize CPU-time
+/// clocks to scheduler ticks (some sandboxes), falls back to the monotonic
+/// clock (probed once at first use).
+class ThreadCpuTimer {
+ public:
+  void Start();
+  /// Microseconds of thread CPU time since Start().
+  double ElapsedMicros() const;
+
+ private:
+  int64_t start_ns_ = 0;
+};
+
+/// Wall-clock stopwatch (steady clock), used by the real-threads execution
+/// mode and the micro-benchmarks.
+class WallTimer {
+ public:
+  void Start();
+  double ElapsedMicros() const;
+
+ private:
+  int64_t start_ns_ = 0;
+};
+
+/// A monotonically advancing simulated clock, one per simulated node.
+class VirtualClock {
+ public:
+  double NowMicros() const { return now_us_; }
+  void Advance(double us) { now_us_ += us; }
+  /// Moves the clock forward to `us` if it is ahead of the current time
+  /// (waiting on an event that completes at `us`); never moves backwards.
+  void AdvanceTo(double us) { now_us_ = std::max(now_us_, us); }
+  void Reset() { now_us_ = 0; }
+
+ private:
+  double now_us_ = 0;
+};
+
+}  // namespace idea

@@ -1,0 +1,158 @@
+#include "feed/active_feed_manager.h"
+
+#include "common/virtual_clock.h"
+
+namespace idea::feed {
+
+ActiveFeedManager::~ActiveFeedManager() {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, feed] : feeds_) names.push_back(name);
+  }
+  for (const auto& name : names) {
+    (void)StopFeed(name);
+    (void)WaitForFeed(name);
+  }
+}
+
+Status ActiveFeedManager::StartFeed(StartArgs args) {
+  const std::string& name = args.config.name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (feeds_.count(name) > 0) {
+      return Status::AlreadyExists("feed '" + name + "' is already active");
+    }
+  }
+  std::shared_ptr<storage::LsmDataset> dataset =
+      catalog_->FindDataset(args.connection.dataset);
+  if (dataset == nullptr) {
+    return Status::NotFound("feed '" + name + "' targets unknown dataset '" +
+                            args.connection.dataset + "'");
+  }
+  // Compile + predeploy the computing job (the paper's predeployed job),
+  // then bring up the two long-running jobs.
+  IDEA_RETURN_NOT_OK(ComputingJob::Deploy(name, args.config, args.connection.apply_function,
+                                          cluster_, catalog_, udfs_));
+  auto feed = std::make_unique<ActiveFeed>();
+  feed->config = args.config;
+  feed->connection = args.connection;
+  feed->storage = std::make_unique<StorageJob>(name, cluster_, dataset);
+  Status st = feed->storage->Start();
+  if (!st.ok()) {
+    (void)ComputingJob::Undeploy(name, cluster_);
+    return st;
+  }
+  feed->intake = std::make_unique<IntakeJob>(name, cluster_);
+  st = feed->intake->Start(args.adapter_factory, args.config.balanced_intake);
+  if (!st.ok()) {
+    (void)ComputingJob::Undeploy(name, cluster_);
+    return st;
+  }
+  ActiveFeed* raw = feed.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    feeds_.emplace(name, std::move(feed));
+  }
+  // The intake job asks the AFM to keep invoking computing jobs (§6.1);
+  // the driver thread is that loop.
+  raw->driver = std::thread([this, raw] { DriveFeed(raw); });
+  return Status::OK();
+}
+
+void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
+  WallTimer lifetime;
+  lifetime.Start();
+  Status final_status;
+  while (true) {
+    auto inv = ComputingJob::RunOnce(feed->config.name, feed->config, cluster_);
+    if (!inv.ok()) {
+      final_status = inv.status();
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      feed->stats.records_ingested += inv->records_out;
+      feed->stats.parse_errors += inv->parse_errors;
+      if (inv->records_in > 0 || !inv->intake_exhausted) {
+        ++feed->stats.computing_jobs;
+        feed->stats.compute_micros_total += inv->wall_micros;
+      }
+    }
+    if (inv->intake_exhausted) break;
+  }
+  // When the last computing job for the feed finishes, the storage job stops
+  // accordingly (§6.1).
+  feed->storage->Close();
+  feed->storage->Join();
+  feed->intake->Join();
+  if (final_status.ok()) final_status = feed->storage->first_error();
+  std::lock_guard<std::mutex> lock(mu_);
+  feed->final_status = final_status;
+  feed->stats.wall_micros_total = lifetime.ElapsedMicros();
+  feed->finished = true;
+}
+
+Status ActiveFeedManager::StopFeed(const std::string& feed_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = feeds_.find(feed_name);
+  if (it == feeds_.end()) {
+    return Status::NotFound("feed '" + feed_name + "' is not active");
+  }
+  it->second->intake->StopAdapters();
+  return Status::OK();
+}
+
+Status ActiveFeedManager::WaitForFeed(const std::string& feed_name) {
+  IDEA_ASSIGN_OR_RETURN(FeedRuntimeStats stats, WaitForFeedStats(feed_name));
+  (void)stats;
+  return Status::OK();
+}
+
+Result<FeedRuntimeStats> ActiveFeedManager::WaitForFeedStats(
+    const std::string& feed_name) {
+  std::unique_ptr<ActiveFeed> feed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = feeds_.find(feed_name);
+    if (it == feeds_.end()) {
+      return Status::NotFound("feed '" + feed_name + "' is not active");
+    }
+    feed = std::move(it->second);
+    feeds_.erase(it);
+  }
+  if (feed->driver.joinable()) feed->driver.join();
+  (void)ComputingJob::Undeploy(feed_name, cluster_);
+  // Unregister partition holders so the feed can be restarted.
+  for (size_t p = 0; p < cluster_->node_count(); ++p) {
+    (void)cluster_->node(p).holders().Unregister(
+        runtime::PartitionHolderId{feed_name, "intake", p});
+    (void)cluster_->node(p).holders().Unregister(
+        runtime::PartitionHolderId{feed_name, "storage", p});
+  }
+  IDEA_RETURN_NOT_OK(feed->final_status);
+  return feed->stats;
+}
+
+Result<FeedRuntimeStats> ActiveFeedManager::GetStats(const std::string& feed_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = feeds_.find(feed_name);
+  if (it == feeds_.end()) {
+    return Status::NotFound("feed '" + feed_name + "' is not active");
+  }
+  return it->second->stats;
+}
+
+std::vector<std::string> ActiveFeedManager::ActiveFeeds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, feed] : feeds_) out.push_back(name);
+  return out;
+}
+
+bool ActiveFeedManager::IsActive(const std::string& feed_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return feeds_.count(feed_name) > 0;
+}
+
+}  // namespace idea::feed

@@ -1,0 +1,81 @@
+// Active Feed Manager (AFM, paper §6.1): lives on the Cluster Controller,
+// tracks every active feed, and keeps invoking new computing jobs as data
+// batches arrive. Orchestrates the full lifecycle:
+//
+//   START FEED  -> deploy computing job, start intake + storage jobs,
+//                  start the invocation loop
+//   (loop)      -> computing job per batch; each invocation refreshes the
+//                  UDF's intermediate state
+//   STOP FEED   -> adapters stop, intake EOF, in-flight computing job
+//                  finishes with a partial batch, storage job drains & stops
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_controller.h"
+#include "common/status.h"
+#include "feed/computing_job.h"
+#include "feed/feed.h"
+#include "feed/intake_job.h"
+#include "feed/storage_job.h"
+#include "feed/udf.h"
+#include "storage/catalog.h"
+
+namespace idea::feed {
+
+class ActiveFeedManager {
+ public:
+  ActiveFeedManager(cluster::Cluster* cluster, storage::Catalog* catalog,
+                    UdfRegistry* udfs)
+      : cluster_(cluster), catalog_(catalog), udfs_(udfs) {}
+  ~ActiveFeedManager();
+
+  struct StartArgs {
+    FeedConfig config;
+    FeedConnection connection;
+    AdapterFactory adapter_factory;
+  };
+
+  /// Validates, deploys, and starts the three-layer pipeline for a feed.
+  Status StartFeed(StartArgs args);
+
+  /// Requests a feed stop (asynchronous drain). WaitForFeed observes the end.
+  Status StopFeed(const std::string& feed_name);
+
+  /// Blocks until the feed's pipeline fully drains and stops.
+  Status WaitForFeed(const std::string& feed_name);
+
+  /// WaitForFeed + the feed's final lifetime statistics.
+  Result<FeedRuntimeStats> WaitForFeedStats(const std::string& feed_name);
+
+  Result<FeedRuntimeStats> GetStats(const std::string& feed_name) const;
+  std::vector<std::string> ActiveFeeds() const;
+  bool IsActive(const std::string& feed_name) const;
+
+ private:
+  struct ActiveFeed {
+    FeedConfig config;
+    FeedConnection connection;
+    std::unique_ptr<IntakeJob> intake;
+    std::unique_ptr<StorageJob> storage;
+    std::thread driver;
+    FeedRuntimeStats stats;
+    Status final_status;
+    bool finished = false;
+  };
+
+  void DriveFeed(ActiveFeed* feed);
+
+  cluster::Cluster* cluster_;
+  storage::Catalog* catalog_;
+  UdfRegistry* udfs_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ActiveFeed>> feeds_;
+};
+
+}  // namespace idea::feed

@@ -1,0 +1,154 @@
+#include "feed/computing_job.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/virtual_clock.h"
+#include "runtime/frame.h"
+
+namespace idea::feed {
+
+Status ComputingJob::Deploy(const std::string& feed_name, const FeedConfig& config,
+                            const std::string& udf, cluster::Cluster* cluster,
+                            storage::Catalog* catalog, const UdfRegistry* udfs) {
+  const adm::Datatype* datatype = nullptr;
+  if (!config.type_name.empty()) {
+    datatype = catalog->FindDatatype(config.type_name);
+    if (datatype == nullptr) {
+      return Status::NotFound("unknown datatype '" + config.type_name + "' for feed '" +
+                              feed_name + "'");
+    }
+  }
+  // Resolve the UDF once; per-node artifacts fork from it.
+  std::shared_ptr<const sqlpp::SqlppFunctionDef> sqlpp_def;
+  bool is_native = false;
+  if (!udf.empty()) {
+    sqlpp_def = udfs->FindSqlppShared(udf);
+    if (sqlpp_def == nullptr) {
+      if (!udfs->HasNative(udf)) {
+        return Status::NotFound("unknown function '" + udf + "' attached to feed '" +
+                                feed_name + "'");
+      }
+      is_native = true;
+    }
+  }
+  return cluster->predeployed().Deploy(
+      JobId(feed_name), cluster->node_count(),
+      [&](size_t node) -> Result<std::unique_ptr<runtime::JobArtifact>> {
+        auto artifact = std::make_unique<ComputingArtifact>();
+        IDEA_ASSIGN_OR_RETURN(artifact->parser, MakeParser(config.format, datatype));
+        if (sqlpp_def != nullptr) {
+          artifact->accessor =
+              std::make_unique<storage::CatalogAccessor>(catalog, /*cache=*/true);
+          IDEA_ASSIGN_OR_RETURN(
+              artifact->plan,
+              sqlpp::EnrichmentPlan::Compile(sqlpp_def, artifact->accessor.get(), udfs));
+        } else if (is_native) {
+          // Instantiated per node; (re)initialized per invocation so dynamic
+          // enrichment sees resource updates.
+          IDEA_ASSIGN_OR_RETURN(
+              artifact->native,
+              udfs->CreateNativeInstance(udf, "node-" + std::to_string(node)));
+          artifact->native_name = udf;
+        }
+        return std::unique_ptr<runtime::JobArtifact>(std::move(artifact));
+      });
+}
+
+Status ComputingJob::Undeploy(const std::string& feed_name, cluster::Cluster* cluster) {
+  return cluster->predeployed().Undeploy(JobId(feed_name));
+}
+
+Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
+                                                  const FeedConfig& config,
+                                                  cluster::Cluster* cluster) {
+  const size_t nodes = cluster->node_count();
+  const size_t quota = std::max<size_t>(1, config.batch_size / nodes);
+  cluster->predeployed().RecordInvocation(JobId(feed_name));
+
+  WallTimer timer;
+  timer.Start();
+  std::atomic<uint64_t> records_in{0}, records_out{0}, parse_errors{0};
+  std::atomic<size_t> exhausted_nodes{0};
+  std::vector<Status> statuses(nodes);
+  std::vector<std::thread> threads;
+
+  for (size_t p = 0; p < nodes; ++p) {
+    threads.emplace_back([&, p] {
+      auto run = [&]() -> Status {
+        auto* artifact = dynamic_cast<ComputingArtifact*>(
+            cluster->predeployed().Get(JobId(feed_name), p));
+        if (artifact == nullptr) {
+          return Status::Internal("computing job for feed '" + feed_name +
+                                  "' is not predeployed on node " + std::to_string(p));
+        }
+        auto intake = cluster->node(p).holders().FindIntake(
+            runtime::PartitionHolderId{feed_name, "intake", p});
+        auto storage_holder = cluster->node(p).holders().FindStorage(
+            runtime::PartitionHolderId{feed_name, "storage", p});
+        if (intake == nullptr || storage_holder == nullptr) {
+          return Status::Internal("partition holders for feed '" + feed_name +
+                                  "' missing on node " + std::to_string(p));
+        }
+        // Collector: pull this node's share of the batch.
+        std::vector<std::string> raw;
+        if (!intake->PullBatch(quota, &raw)) {
+          exhausted_nodes.fetch_add(1);
+          return Status::OK();
+        }
+        records_in.fetch_add(raw.size(), std::memory_order_relaxed);
+        // Parser.
+        std::vector<adm::Value> parsed;
+        parsed.reserve(raw.size());
+        for (const std::string& r : raw) {
+          auto rec = artifact->parser->Parse(r);
+          if (!rec.ok()) {
+            parse_errors.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          parsed.push_back(std::move(rec).value());
+        }
+        // UDF evaluator: refresh intermediate state, then enrich. This is
+        // the Model-2 refresh point — updates committed before this line are
+        // visible to this invocation.
+        std::vector<adm::Value> enriched;
+        if (artifact->plan != nullptr) {
+          artifact->accessor->BeginEpoch();
+          IDEA_RETURN_NOT_OK(artifact->plan->Initialize());
+          IDEA_RETURN_NOT_OK(artifact->plan->EnrichBatch(parsed, &enriched));
+        } else if (artifact->native != nullptr) {
+          IDEA_RETURN_NOT_OK(
+              artifact->native->Initialize("node-" + std::to_string(p)));
+          enriched.reserve(parsed.size());
+          for (const auto& rec : parsed) {
+            IDEA_ASSIGN_OR_RETURN(adm::Value v, artifact->native->Evaluate({rec}));
+            enriched.push_back(std::move(v));
+          }
+        } else {
+          enriched = std::move(parsed);
+        }
+        records_out.fetch_add(enriched.size(), std::memory_order_relaxed);
+        // Feed pipeline sink: ship frames to the storage job.
+        for (auto& frame : runtime::FrameRecords(enriched, config.frame_bytes)) {
+          IDEA_RETURN_NOT_OK(storage_holder->Push(std::move(frame)));
+        }
+        return Status::OK();
+      };
+      statuses[p] = run();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& st : statuses) {
+    IDEA_RETURN_NOT_OK(st);
+  }
+
+  ComputingInvocation out;
+  out.records_in = records_in.load();
+  out.records_out = records_out.load();
+  out.parse_errors = parse_errors.load();
+  out.intake_exhausted = exhausted_nodes.load() == nodes;
+  out.wall_micros = timer.ElapsedMicros();
+  return out;
+}
+
+}  // namespace idea::feed

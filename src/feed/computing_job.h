@@ -1,0 +1,69 @@
+// Computing job: the short-lived, repeatedly invoked middle layer of the new
+// ingestion framework (Figure 23, middle). Each invocation pulls one batch
+// from the intake partition holders, parses it, (re)initializes the attached
+// UDF's intermediate state, enriches the records, and pushes the results to
+// the storage partition holders. Because the state is rebuilt per
+// invocation, reference-data changes are picked up batch by batch (Model 2,
+// paper §4.3.3).
+//
+// The per-node compiled artifact (parser + forked enrichment plan or native
+// UDF instance) is distributed through the cluster's PredeployedJobManager —
+// the parameterized predeployed job of §5.1.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_controller.h"
+#include "common/status.h"
+#include "feed/feed.h"
+#include "feed/record_parser.h"
+#include "feed/udf.h"
+#include "runtime/predeployed.h"
+#include "sqlpp/enrichment_plan.h"
+#include "storage/catalog.h"
+
+namespace idea::feed {
+
+/// Node-resident compiled computing-job artifact.
+struct ComputingArtifact : public runtime::JobArtifact {
+  std::unique_ptr<RecordParser> parser;
+  /// Snapshot accessor scoped to this node's plan (epoch per invocation).
+  std::unique_ptr<storage::CatalogAccessor> accessor;
+  std::unique_ptr<sqlpp::EnrichmentPlan> plan;  // SQL++ UDF (may be null)
+  std::unique_ptr<NativeUdf> native;            // native UDF (may be null)
+  std::string native_name;
+};
+
+/// Outcome of one computing-job invocation.
+struct ComputingInvocation {
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+  uint64_t parse_errors = 0;
+  bool intake_exhausted = false;
+  double wall_micros = 0;
+};
+
+class ComputingJob {
+ public:
+  /// Compiles and predeploys the computing job for `feed` on every node.
+  /// `udf` is a SQL++ function name, a native qualified name, or empty.
+  static Status Deploy(const std::string& feed_name, const FeedConfig& config,
+                       const std::string& udf, cluster::Cluster* cluster,
+                       storage::Catalog* catalog, const UdfRegistry* udfs);
+
+  /// Removes the predeployed artifacts.
+  static Status Undeploy(const std::string& feed_name, cluster::Cluster* cluster);
+
+  /// Runs one invocation across all nodes (threads mode). Pulls up to
+  /// ceil(batch_size / nodes) records per node.
+  static Result<ComputingInvocation> RunOnce(const std::string& feed_name,
+                                             const FeedConfig& config,
+                                             cluster::Cluster* cluster);
+
+  static std::string JobId(const std::string& feed_name) {
+    return "computing-job:" + feed_name;
+  }
+};
+
+}  // namespace idea::feed

@@ -1,0 +1,70 @@
+// Feed descriptors and shared feed-pipeline types.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "feed/adapter.h"
+
+namespace idea::feed {
+
+/// Static description of a feed (CREATE FEED ... WITH {...}).
+struct FeedConfig {
+  std::string name;
+  std::string type_name;       // datatype used for parsing/validation
+  std::string format = "JSON"; // "JSON" | "delimited-text"
+  size_t batch_size = 420;     // records per computing-job invocation (1X)
+  /// false: one intake node (node 0). true: "balanced" — every node runs an
+  /// adapter (paper §7.1's Balanced variants).
+  bool balanced_intake = false;
+  /// Target frame size for enriched data shipped to the storage job.
+  size_t frame_bytes = 32 * 1024;
+  /// Adapter config passthrough ("adapter-name", "sockets", ...).
+  std::map<std::string, std::string> adapter_config;
+};
+
+/// CONNECT FEED f TO DATASET d [APPLY FUNCTION fn].
+struct FeedConnection {
+  std::string dataset;
+  std::string apply_function;  // SQL++ name, native qualified name, or ""
+};
+
+/// Builds the adapter for intake node `intake_index` of `intake_count`.
+/// Factories for finite replayed sources typically stride-slice the input.
+using AdapterFactory = std::function<Result<std::unique_ptr<FeedAdapter>>(
+    size_t intake_index, size_t intake_count)>;
+
+/// Cumulative counters for a running/finished feed.
+struct FeedRuntimeStats {
+  uint64_t records_ingested = 0;   // records that reached storage
+  uint64_t parse_errors = 0;
+  uint64_t computing_jobs = 0;     // invocations (dynamic framework)
+  double compute_micros_total = 0; // Σ wall time of computing jobs
+  uint64_t plan_initializations = 0;
+  double wall_micros_total = 0;    // feed lifetime
+
+  double RefreshPeriodMicros() const {
+    return computing_jobs == 0 ? 0 : compute_micros_total / static_cast<double>(computing_jobs);
+  }
+  double ThroughputRecordsPerSec() const {
+    return wall_micros_total <= 0
+               ? 0
+               : static_cast<double>(records_ingested) * 1e6 / wall_micros_total;
+  }
+};
+
+/// Builds an AdapterFactory from a CREATE FEED config map. Supports
+/// "adapter-name": "socket_adapter" (with "sockets": "host:port") and
+/// "localfs" (with "path"). The socket adapter always binds on the single
+/// intake node.
+Result<AdapterFactory> MakeAdapterFactory(const std::map<std::string, std::string>& config);
+
+/// AdapterFactory over a shared pre-generated record vector; each intake
+/// node replays a strided slice.
+AdapterFactory MakeVectorAdapterFactory(
+    std::shared_ptr<const std::vector<std::string>> records);
+
+}  // namespace idea::feed

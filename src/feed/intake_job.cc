@@ -1,0 +1,61 @@
+#include "feed/intake_job.h"
+
+namespace idea::feed {
+
+IntakeJob::IntakeJob(std::string feed_name, cluster::Cluster* cluster)
+    : feed_name_(std::move(feed_name)), cluster_(cluster) {}
+
+IntakeJob::~IntakeJob() {
+  StopAdapters();
+  Join();
+}
+
+Status IntakeJob::Start(const AdapterFactory& factory, bool balanced_intake) {
+  const size_t nodes = cluster_->node_count();
+  for (size_t p = 0; p < nodes; ++p) {
+    auto holder = std::make_shared<runtime::IntakePartitionHolder>(
+        runtime::PartitionHolderId{feed_name_, "intake", p});
+    IDEA_RETURN_NOT_OK(cluster_->node(p).holders().RegisterIntake(holder));
+    holders_.push_back(std::move(holder));
+  }
+  const size_t intake_count = balanced_intake ? nodes : 1;
+  for (size_t i = 0; i < intake_count; ++i) {
+    IDEA_ASSIGN_OR_RETURN(std::unique_ptr<FeedAdapter> adapter, factory(i, intake_count));
+    adapters_.push_back(std::move(adapter));
+  }
+  live_adapters_.store(adapters_.size());
+  for (size_t i = 0; i < adapters_.size(); ++i) {
+    threads_.emplace_back([this, i, nodes] {
+      FeedAdapter* adapter = adapters_[i].get();
+      // Round-robin partitioner (Figure 23): spread records evenly so the
+      // (possibly expensive) attached UDF parallelizes well.
+      size_t next = i;  // offset per intake node to avoid skew
+      std::string raw;
+      while (adapter->Next(&raw)) {
+        if (!holders_[next % nodes]->Push(std::move(raw)).ok()) break;
+        raw.clear();
+        ++next;
+        records_.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Last adapter out marks EOF on every holder (paper §6.1).
+      if (live_adapters_.fetch_sub(1) == 1) {
+        for (auto& h : holders_) h->PushEof();
+      }
+    });
+  }
+  return Status::OK();
+}
+
+void IntakeJob::StopAdapters() {
+  for (auto& a : adapters_) a->Stop();
+}
+
+void IntakeJob::Join() {
+  if (joined_) return;
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  joined_ = true;
+}
+
+}  // namespace idea::feed

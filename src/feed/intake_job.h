@@ -1,0 +1,54 @@
+// Intake job: the long-running head of the new ingestion framework
+// (Figure 23, top). Adapters receive raw records on the intake node(s), the
+// round-robin partitioner spreads them across the cluster, and each node's
+// passive intake partition holder buffers them for computing jobs to pull.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_controller.h"
+#include "common/status.h"
+#include "feed/feed.h"
+#include "runtime/partition_holder.h"
+
+namespace idea::feed {
+
+class IntakeJob {
+ public:
+  IntakeJob(std::string feed_name, cluster::Cluster* cluster);
+  ~IntakeJob();
+
+  /// Creates and registers one intake partition holder per node, builds the
+  /// adapters (one, or one per node when balanced), and starts ingesting.
+  Status Start(const AdapterFactory& factory, bool balanced_intake);
+
+  /// Asks adapters to stop (STOP FEED); ingestion drains and EOF follows.
+  void StopAdapters();
+
+  /// Blocks until all adapter threads finish (EOF has then been pushed to
+  /// every partition holder).
+  void Join();
+
+  std::shared_ptr<runtime::IntakePartitionHolder> holder(size_t node) const {
+    return holders_[node];
+  }
+  uint64_t records_ingested() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+  size_t intake_node_count() const { return adapters_.size(); }
+
+ private:
+  std::string feed_name_;
+  cluster::Cluster* cluster_;
+  std::vector<std::shared_ptr<runtime::IntakePartitionHolder>> holders_;
+  std::vector<std::unique_ptr<FeedAdapter>> adapters_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> records_{0};
+  std::atomic<size_t> live_adapters_{0};
+  bool joined_ = false;
+};
+
+}  // namespace idea::feed

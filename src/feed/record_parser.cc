@@ -1,0 +1,86 @@
+#include "feed/record_parser.h"
+
+#include <cstdlib>
+
+#include "adm/json.h"
+#include "common/string_util.h"
+
+namespace idea::feed {
+
+Result<adm::Value> JsonRecordParser::Parse(const std::string& raw) {
+  auto parsed = adm::ParseJson(raw);
+  if (!parsed.ok()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return parsed.status();
+  }
+  adm::Value record = std::move(parsed).value();
+  if (datatype_ != nullptr) {
+    Status st = datatype_->ValidateAndCoerce(&record);
+    if (!st.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return st;
+    }
+  }
+  parsed_.fetch_add(1, std::memory_order_relaxed);
+  return record;
+}
+
+Result<adm::Value> DelimitedRecordParser::Parse(const std::string& raw) {
+  std::vector<std::string> pieces = SplitString(raw, delimiter_);
+  if (pieces.size() != fields_.size()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ParseError("expected " + std::to_string(fields_.size()) +
+                              " fields, got " + std::to_string(pieces.size()));
+  }
+  adm::Fields out;
+  out.reserve(fields_.size());
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const std::string& s = pieces[i];
+    // Numeric-looking values become numbers; the datatype coercion below can
+    // refine further (datetime, point, ...).
+    char* end = nullptr;
+    if (!s.empty()) {
+      long long iv = std::strtoll(s.c_str(), &end, 10);
+      if (end == s.c_str() + s.size()) {
+        out.emplace_back(fields_[i], adm::Value::MakeInt(iv));
+        continue;
+      }
+      double dv = std::strtod(s.c_str(), &end);
+      if (end == s.c_str() + s.size()) {
+        out.emplace_back(fields_[i], adm::Value::MakeDouble(dv));
+        continue;
+      }
+    }
+    out.emplace_back(fields_[i], adm::Value::MakeString(s));
+  }
+  adm::Value record = adm::Value::MakeObject(std::move(out));
+  if (datatype_ != nullptr) {
+    Status st = datatype_->ValidateAndCoerce(&record);
+    if (!st.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      return st;
+    }
+  }
+  parsed_.fetch_add(1, std::memory_order_relaxed);
+  return record;
+}
+
+Result<std::unique_ptr<RecordParser>> MakeParser(const std::string& format,
+                                                 const adm::Datatype* datatype) {
+  std::string f = ToLowerAscii(format);
+  if (f == "json" || f.empty()) {
+    return std::unique_ptr<RecordParser>(std::make_unique<JsonRecordParser>(datatype));
+  }
+  if (f == "delimited-text" || f == "delimited") {
+    if (datatype == nullptr) {
+      return Status::InvalidArgument("delimited-text format requires a datatype");
+    }
+    std::vector<std::string> names;
+    for (const auto& field : datatype->fields()) names.push_back(field.name);
+    return std::unique_ptr<RecordParser>(
+        std::make_unique<DelimitedRecordParser>(std::move(names), '|', datatype));
+  }
+  return Status::NotSupported("unknown feed format '" + format + "'");
+}
+
+}  // namespace idea::feed

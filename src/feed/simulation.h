@@ -1,0 +1,91 @@
+// FeedSimulation: virtual-time benchmark engine for the ingestion framework.
+//
+// The paper's evaluation ran on up to 24 physical nodes; this engine
+// reproduces the *time structure* of those experiments on a small host by
+// executing all pipeline work for real (parse, UDF state rebuild, enrich,
+// store — on one executor) while accounting elapsed time analytically:
+//
+//   T_batch = T_invoke(N)          CC job-start messaging (+ compile when
+//                                  predeployed jobs are disabled)
+//           + T_init   / N         per-invocation intermediate-state rebuild
+//                                  (reference data partitioned across nodes)
+//           + T_work   / N         parse + enrich, batch spread over N nodes
+//           + T_transfer           repartition (hash/scan plans) or broadcast
+//                                  (index nested-loop plans: every tweet is
+//                                  shipped to all nodes, §7.4.2)
+//
+//   makespan = max(intake time, Σ T_batch, storage time)   (layers overlap;
+//   a fused insert job — the §5.1 design before decoupling — serializes
+//   storage into the batch loop instead)
+//
+// Reference-data updates (Fig. 27) are applied against the live LSM datasets
+// between computing jobs according to simulated time, so staleness,
+// memtable activation, and index-probe costs all behave as in the paper.
+// See DESIGN.md, "Hardware / platform substitutions".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "common/status.h"
+#include "feed/udf.h"
+#include "storage/catalog.h"
+
+namespace idea::feed {
+
+struct SimConfig {
+  size_t nodes = 6;
+  size_t batch_size = 420;  // records per computing-job invocation (1X)
+  bool dynamic = true;      // false = legacy static (coupled) pipeline
+  bool balanced_intake = false;
+  bool predeployed = true;       // ablation: false pays compile per invocation
+  bool fused_insert_job = false; // ablation: single insert job (§5.1, pre-§5.2)
+  std::string udf;               // SQL++ name or native "lib#name"; "" = none
+  bool use_native = false;
+  cluster::CostModelConfig costs;
+
+  // Reference-update client (Figure 27): updates/sec of simulated time
+  // against `update_dataset` (0 = no updates).
+  std::string update_dataset;
+  double update_rate = 0;
+  size_t update_dataset_size = 0;
+  size_t country_domain = 500;
+  uint64_t seed = 7;
+};
+
+struct SimReport {
+  uint64_t records = 0;
+  double makespan_us = 0;
+  double throughput_rps = 0;
+  uint64_t computing_jobs = 0;
+  double refresh_period_us = 0;  // avg simulated computing-job duration (Fig 26)
+  double intake_us = 0;
+  double compute_us = 0;   // Σ T_batch
+  double storage_us = 0;
+  double invoke_us = 0;    // Σ job-start (+compile) overhead
+  double init_us = 0;      // Σ measured state-rebuild CPU (unscaled by N)
+  uint64_t updates_applied = 0;
+  std::string plan_explain;
+};
+
+class FeedSimulation {
+ public:
+  FeedSimulation(storage::Catalog* catalog, const UdfRegistry* udfs)
+      : catalog_(catalog), udfs_(udfs) {}
+
+  /// Ingests `raw_records` into `target_dataset` under `config` and returns
+  /// the simulated-time report. The target dataset receives the enriched
+  /// records for real.
+  Result<SimReport> Run(const SimConfig& config,
+                        const std::vector<std::string>& raw_records,
+                        const std::string& target_dataset,
+                        const adm::Datatype* record_type);
+
+ private:
+  storage::Catalog* catalog_;
+  const UdfRegistry* udfs_;
+};
+
+}  // namespace idea::feed

@@ -1,0 +1,74 @@
+// The legacy ("static") ingestion pipeline — AsterixDB's shipped data feeds
+// as the paper describes them (§2.3, §4.3.4): intake and parsing are coupled
+// on the intake node(s), attached UDFs are initialized exactly once and keep
+// their intermediate state for the pipeline's whole lifetime (Model 3), and
+// stateful SQL++ UDFs are therefore rejected. This is the baseline the new
+// framework is evaluated against ("Static Ingestion" / "Static Enrichment
+// w/ Java" in §7).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_controller.h"
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "feed/feed.h"
+#include "feed/record_parser.h"
+#include "feed/udf.h"
+#include "sqlpp/enrichment_plan.h"
+#include "storage/catalog.h"
+
+namespace idea::feed {
+
+class StaticFeedPipeline {
+ public:
+  StaticFeedPipeline(cluster::Cluster* cluster, storage::Catalog* catalog,
+                     UdfRegistry* udfs)
+      : cluster_(cluster), catalog_(catalog), udfs_(udfs) {}
+  ~StaticFeedPipeline();
+
+  struct StartArgs {
+    FeedConfig config;
+    FeedConnection connection;
+    AdapterFactory adapter_factory;
+  };
+
+  /// Validates and starts the coupled pipeline. Fails with NotSupported for
+  /// stateful SQL++ UDFs (the restriction the new framework removes).
+  Status Start(StartArgs args);
+
+  /// Asks adapters to stop (finite adapters end on their own).
+  void StopAdapters();
+
+  /// Joins the pipeline and returns lifetime stats.
+  Result<FeedRuntimeStats> Wait();
+
+ private:
+  struct NodeState {
+    std::unique_ptr<FeedAdapter> adapter;
+    std::unique_ptr<RecordParser> parser;
+    std::unique_ptr<storage::CatalogAccessor> accessor;
+    std::unique_ptr<sqlpp::EnrichmentPlan> plan;  // initialized once
+    std::unique_ptr<NativeUdf> native;            // initialized once
+  };
+
+  cluster::Cluster* cluster_;
+  storage::Catalog* catalog_;
+  UdfRegistry* udfs_;
+  FeedConfig config_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::vector<std::thread> threads_;
+  std::vector<Status> statuses_;
+  std::atomic<uint64_t> stored_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  double start_us_ = 0;
+  WallTimer timer_holder_;
+  FeedRuntimeStats stats_;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace idea::feed

@@ -1,0 +1,51 @@
+// Storage job: the long-running tail of the new ingestion framework
+// (Figure 23, bottom). Each node's *active* storage partition holder
+// receives enriched frames from the collocated computing job, pushes them
+// through the hash partitioner (primary-key hashing onto storage
+// partitions), and writes them to the LSM dataset, group-committing the WAL
+// per frame.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster_controller.h"
+#include "common/status.h"
+#include "runtime/partition_holder.h"
+#include "storage/lsm_dataset.h"
+
+namespace idea::feed {
+
+class StorageJob {
+ public:
+  StorageJob(std::string feed_name, cluster::Cluster* cluster,
+             std::shared_ptr<storage::LsmDataset> dataset);
+  ~StorageJob();
+
+  /// Registers storage partition holders on every node and starts the drain
+  /// threads.
+  Status Start();
+
+  /// Closes the holders; drain threads finish after the backlog empties.
+  void Close();
+  void Join();
+
+  uint64_t records_stored() const { return stored_.load(std::memory_order_relaxed); }
+  /// First storage error (storage failures surface at feed completion).
+  Status first_error() const;
+
+ private:
+  std::string feed_name_;
+  cluster::Cluster* cluster_;
+  std::shared_ptr<storage::LsmDataset> dataset_;
+  std::vector<std::shared_ptr<runtime::StoragePartitionHolder>> holders_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> stored_{0};
+  mutable std::mutex error_mu_;
+  Status error_;
+  bool joined_ = false;
+};
+
+}  // namespace idea::feed

@@ -1,0 +1,228 @@
+#include "instance/instance.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "sqlpp/analyzer.h"
+#include "sqlpp/evaluator.h"
+#include "sqlpp/parser.h"
+
+namespace idea {
+
+using adm::Value;
+
+Instance::Instance(InstanceOptions options) : options_(options) {
+  cluster_ = std::make_unique<cluster::Cluster>(options_.cluster);
+  afm_ = std::make_unique<feed::ActiveFeedManager>(cluster_.get(), &catalog_, &udfs_);
+}
+
+Instance::~Instance() {
+  // AFM teardown stops any feeds still running.
+  afm_.reset();
+}
+
+Result<adm::Array> Instance::ExecuteSqlpp(const std::string& statement) {
+  IDEA_ASSIGN_OR_RETURN(sqlpp::Statement stmt, sqlpp::ParseStatement(statement));
+  return ExecuteStatement(std::move(stmt));
+}
+
+Status Instance::ExecuteScript(const std::string& script) {
+  IDEA_ASSIGN_OR_RETURN(std::vector<sqlpp::Statement> stmts, sqlpp::ParseScript(script));
+  for (auto& stmt : stmts) {
+    IDEA_ASSIGN_OR_RETURN(adm::Array rows, ExecuteStatement(std::move(stmt)));
+    (void)rows;
+  }
+  return Status::OK();
+}
+
+Result<adm::Array> Instance::ExecuteStatement(sqlpp::Statement stmt) {
+  using sqlpp::StatementKind;
+  switch (stmt.kind) {
+    case StatementKind::kCreateType: {
+      std::vector<adm::FieldSpec> fields;
+      for (const auto& f : stmt.create_type.fields) {
+        IDEA_ASSIGN_OR_RETURN(adm::FieldType ft, adm::FieldTypeFromName(f.type_name));
+        fields.push_back(adm::FieldSpec{f.name, ft, f.optional});
+      }
+      IDEA_RETURN_NOT_OK(catalog_.CreateDatatype(
+          adm::Datatype(stmt.create_type.name, std::move(fields))));
+      return adm::Array{};
+    }
+    case StatementKind::kCreateDataset: {
+      IDEA_RETURN_NOT_OK(catalog_.CreateDataset(
+          stmt.create_dataset.name, stmt.create_dataset.type_name,
+          stmt.create_dataset.primary_key, options_.dataset_defaults));
+      return adm::Array{};
+    }
+    case StatementKind::kCreateIndex: {
+      std::shared_ptr<storage::LsmDataset> ds =
+          catalog_.FindDataset(stmt.create_index.dataset);
+      if (ds == nullptr) {
+        return Status::NotFound("unknown dataset '" + stmt.create_index.dataset + "'");
+      }
+      IDEA_RETURN_NOT_OK(ds->CreateIndex(stmt.create_index.name, stmt.create_index.field,
+                                         stmt.create_index.index_type));
+      return adm::Array{};
+    }
+    case StatementKind::kCreateFunction: {
+      sqlpp::SqlppFunctionDef def;
+      def.name = stmt.create_function.name;
+      def.params = stmt.create_function.params;
+      def.body = std::shared_ptr<const sqlpp::SelectStatement>(
+          std::move(stmt.create_function.body));
+      IDEA_RETURN_NOT_OK(
+          udfs_.RegisterSqlpp(std::move(def), stmt.create_function.or_replace));
+      return adm::Array{};
+    }
+    case StatementKind::kCreateFeed: {
+      const auto& cf = stmt.create_feed;
+      if (feed_decls_.count(cf.name) > 0) {
+        return Status::AlreadyExists("feed '" + cf.name + "' already exists");
+      }
+      FeedDecl decl;
+      decl.config.name = cf.name;
+      decl.config.adapter_config = cf.config;
+      auto get = [&](const char* key) -> std::string {
+        auto it = cf.config.find(key);
+        return it == cf.config.end() ? "" : it->second;
+      };
+      decl.config.type_name = get("type-name");
+      if (!get("format").empty()) decl.config.format = get("format");
+      if (!get("batch-size").empty()) {
+        decl.config.batch_size =
+            static_cast<size_t>(std::strtoull(get("batch-size").c_str(), nullptr, 10));
+      }
+      std::string balanced = ToLowerAscii(get("balanced-intake"));
+      decl.config.balanced_intake = balanced == "true" || balanced == "yes";
+      feed_decls_.emplace(cf.name, std::move(decl));
+      return adm::Array{};
+    }
+    case StatementKind::kConnectFeed: {
+      auto it = feed_decls_.find(stmt.connect_feed.feed);
+      if (it == feed_decls_.end()) {
+        return Status::NotFound("unknown feed '" + stmt.connect_feed.feed + "'");
+      }
+      it->second.connection.dataset = stmt.connect_feed.dataset;
+      it->second.connection.apply_function = stmt.connect_feed.apply_function;
+      return adm::Array{};
+    }
+    case StatementKind::kStartFeed: {
+      IDEA_RETURN_NOT_OK(StartFeedStatement(stmt.feed_control.feed));
+      return adm::Array{};
+    }
+    case StatementKind::kStopFeed: {
+      IDEA_RETURN_NOT_OK(afm_->StopFeed(stmt.feed_control.feed));
+      return adm::Array{};
+    }
+    case StatementKind::kInsert:
+    case StatementKind::kUpsert: {
+      IDEA_RETURN_NOT_OK(RunInsert(stmt.insert));
+      return adm::Array{};
+    }
+    case StatementKind::kQuery:
+      return RunQuery(*stmt.query);
+    case StatementKind::kDropDataset: {
+      Status st = catalog_.DropDataset(stmt.drop.name);
+      if (!st.ok() && !(st.IsNotFound() && stmt.drop.if_exists)) return st;
+      return adm::Array{};
+    }
+    case StatementKind::kDropFunction: {
+      Status st = udfs_.DropSqlpp(stmt.drop.name);
+      if (!st.ok() && !(st.IsNotFound() && stmt.drop.if_exists)) return st;
+      return adm::Array{};
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<adm::Array> Instance::RunQuery(const sqlpp::SelectStatement& query) {
+  storage::CatalogAccessor accessor(&catalog_, /*cache=*/true);
+  sqlpp::EvalContext ctx;
+  ctx.datasets = &accessor;
+  ctx.functions = &udfs_;
+  sqlpp::Evaluator evaluator(ctx);
+  sqlpp::Env root;
+  return evaluator.EvalQuery(query, &root);
+}
+
+Status Instance::RunInsert(const sqlpp::InsertStatement& insert) {
+  std::shared_ptr<storage::LsmDataset> ds = catalog_.FindDataset(insert.dataset);
+  if (ds == nullptr) {
+    return Status::NotFound("unknown dataset '" + insert.dataset + "'");
+  }
+  storage::CatalogAccessor accessor(&catalog_, /*cache=*/true);
+  sqlpp::EvalContext ctx;
+  ctx.datasets = &accessor;
+  ctx.functions = &udfs_;
+  sqlpp::Evaluator evaluator(ctx);
+  sqlpp::Env root;
+
+  adm::Array rows;
+  if (insert.query != nullptr) {
+    IDEA_ASSIGN_OR_RETURN(rows, evaluator.EvalQuery(*insert.query, &root));
+  } else {
+    IDEA_ASSIGN_OR_RETURN(Value coll, evaluator.Eval(*insert.collection, &root));
+    if (!coll.IsArray()) {
+      return Status::TypeMismatch("INSERT expects a collection of records");
+    }
+    rows = std::move(coll.MutableArray());
+  }
+  for (auto& row : rows) {
+    // SELECT VALUE f(x) over a UDF yields singleton collections; unwrap them
+    // (AsterixDB would UNNEST here).
+    Value rec = std::move(row);
+    if (rec.IsArray() && rec.AsArray().size() == 1 && rec.AsArray()[0].IsObject()) {
+      rec = rec.AsArray()[0];
+    }
+    if (insert.upsert) {
+      IDEA_RETURN_NOT_OK(ds->Upsert(std::move(rec)));
+    } else {
+      IDEA_RETURN_NOT_OK(ds->Insert(std::move(rec)));
+    }
+  }
+  return ds->FlushWal();
+}
+
+Status Instance::StartFeedStatement(const std::string& feed_name) {
+  auto it = feed_decls_.find(feed_name);
+  if (it == feed_decls_.end()) {
+    return Status::NotFound("unknown feed '" + feed_name + "'");
+  }
+  FeedDecl& decl = it->second;
+  if (decl.connection.dataset.empty()) {
+    return Status::InvalidArgument("feed '" + feed_name +
+                                   "' is not connected to a dataset");
+  }
+  feed::AdapterFactory factory = decl.adapter_override;
+  if (!factory) {
+    IDEA_ASSIGN_OR_RETURN(factory, feed::MakeAdapterFactory(decl.config.adapter_config));
+  }
+  feed::ActiveFeedManager::StartArgs args;
+  args.config = decl.config;
+  args.connection = decl.connection;
+  args.adapter_factory = std::move(factory);
+  return afm_->StartFeed(std::move(args));
+}
+
+Status Instance::SetFeedAdapterFactory(const std::string& feed,
+                                       feed::AdapterFactory factory) {
+  auto it = feed_decls_.find(feed);
+  if (it == feed_decls_.end()) {
+    return Status::NotFound("unknown feed '" + feed + "'");
+  }
+  it->second.adapter_override = std::move(factory);
+  return Status::OK();
+}
+
+Result<feed::FeedRuntimeStats> Instance::WaitForFeed(const std::string& feed) {
+  return afm_->WaitForFeedStats(feed);
+}
+
+Status Instance::StopFeed(const std::string& feed) { return afm_->StopFeed(feed); }
+
+Status Instance::RegisterNativeUdf(const std::string& qualified,
+                                   feed::NativeUdfFactory factory, bool stateful) {
+  return udfs_.RegisterNative(qualified, std::move(factory), stateful);
+}
+
+}  // namespace idea

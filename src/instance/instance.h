@@ -1,0 +1,81 @@
+// idea::Instance — the embedded entry point, playing the role AsterixDB's
+// Cluster Controller plays for users: it accepts SQL++ statements (DDL, DML,
+// queries, feed control) and manages the catalog, UDF registry, simulated
+// cluster, and Active Feed Manager of one system instance.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_controller.h"
+#include "common/status.h"
+#include "feed/active_feed_manager.h"
+#include "feed/feed.h"
+#include "feed/udf.h"
+#include "sqlpp/ast.h"
+#include "storage/catalog.h"
+
+namespace idea {
+
+struct InstanceOptions {
+  cluster::ClusterConfig cluster;
+  storage::DatasetOptions dataset_defaults;
+};
+
+class Instance {
+ public:
+  explicit Instance(InstanceOptions options = InstanceOptions());
+  ~Instance();
+
+  /// Executes one SQL++ statement. Queries return their rows; other
+  /// statements return an empty array on success.
+  Result<adm::Array> ExecuteSqlpp(const std::string& statement);
+
+  /// Executes a ';'-separated script (stops at the first error).
+  Status ExecuteScript(const std::string& script);
+
+  /// Runs a parsed statement (used by tests exercising ASTs directly).
+  Result<adm::Array> ExecuteStatement(sqlpp::Statement stmt);
+
+  // --- feed control ---------------------------------------------------------
+
+  /// Overrides the adapter used by START FEED for `feed` (e.g. to attach a
+  /// workload generator instead of a socket).
+  Status SetFeedAdapterFactory(const std::string& feed, feed::AdapterFactory factory);
+
+  /// Blocks until the feed drains (finite adapters) and returns its stats.
+  Result<feed::FeedRuntimeStats> WaitForFeed(const std::string& feed);
+
+  Status StopFeed(const std::string& feed);
+
+  // --- programmatic access --------------------------------------------------
+
+  storage::Catalog& catalog() { return catalog_; }
+  feed::UdfRegistry& udfs() { return udfs_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+  feed::ActiveFeedManager& feeds() { return *afm_; }
+
+  Status RegisterNativeUdf(const std::string& qualified, feed::NativeUdfFactory factory,
+                           bool stateful);
+
+ private:
+  Result<adm::Array> RunQuery(const sqlpp::SelectStatement& query);
+  Status RunInsert(const sqlpp::InsertStatement& insert);
+  Status StartFeedStatement(const std::string& feed_name);
+
+  InstanceOptions options_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  storage::Catalog catalog_;
+  feed::UdfRegistry udfs_;
+  std::unique_ptr<feed::ActiveFeedManager> afm_;
+
+  struct FeedDecl {
+    feed::FeedConfig config;
+    feed::FeedConnection connection;
+    feed::AdapterFactory adapter_override;
+  };
+  std::map<std::string, FeedDecl> feed_decls_;
+};
+
+}  // namespace idea

@@ -1,0 +1,132 @@
+#include "runtime/connectors.h"
+
+namespace idea::runtime {
+
+Status FrameQueue::Push(Frame frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_push_.wait(lock, [&] { return frames_.size() < capacity_ || closed_; });
+  if (closed_) return Status::Aborted("push into closed frame queue");
+  records_pushed_ += frame.record_count();
+  frames_.push(std::move(frame));
+  can_pop_.notify_one();
+  return Status::OK();
+}
+
+bool FrameQueue::Pop(Frame* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_pop_.wait(lock, [&] { return !frames_.empty() || closed_; });
+  if (frames_.empty()) return false;
+  *out = std::move(frames_.front());
+  frames_.pop();
+  can_push_.notify_one();
+  return true;
+}
+
+bool FrameQueue::TryPop(Frame* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (frames_.empty()) return false;
+  *out = std::move(frames_.front());
+  frames_.pop();
+  can_push_.notify_one();
+  return true;
+}
+
+void FrameQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  can_pop_.notify_all();
+  can_push_.notify_all();
+}
+
+bool FrameQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t FrameQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+uint64_t FrameQueue::records_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_pushed_;
+}
+
+const char* ConnectorTypeName(ConnectorType t) {
+  switch (t) {
+    case ConnectorType::kOneToOne:
+      return "one-to-one";
+    case ConnectorType::kRoundRobin:
+      return "round-robin";
+    case ConnectorType::kHashPartition:
+      return "hash-partition";
+    case ConnectorType::kBroadcast:
+      return "broadcast";
+  }
+  return "?";
+}
+
+Router::Router(ConnectorType type, std::vector<std::shared_ptr<FrameQueue>> targets,
+               size_t self_partition, KeyExtractor key, size_t frame_bytes)
+    : type_(type),
+      targets_(std::move(targets)),
+      self_partition_(self_partition),
+      key_(std::move(key)),
+      frame_bytes_(frame_bytes),
+      pending_(targets_.size()) {}
+
+Status Router::Emit(size_t target, const adm::Value& record) {
+  Frame& f = pending_[target];
+  f.Append(record);
+  if (f.byte_size() >= frame_bytes_) {
+    IDEA_RETURN_NOT_OK(targets_[target]->Push(std::move(f)));
+    f = Frame();
+  }
+  return Status::OK();
+}
+
+Status Router::RouteRecord(const adm::Value& record) {
+  switch (type_) {
+    case ConnectorType::kOneToOne:
+      return Emit(self_partition_ % targets_.size(), record);
+    case ConnectorType::kRoundRobin: {
+      size_t t = rr_next_;
+      rr_next_ = (rr_next_ + 1) % targets_.size();
+      return Emit(t, record);
+    }
+    case ConnectorType::kHashPartition: {
+      adm::Value key = key_ ? key_(record) : record;
+      size_t t = static_cast<size_t>(adm::Value::Hash(key) % targets_.size());
+      return Emit(t, record);
+    }
+    case ConnectorType::kBroadcast: {
+      for (size_t t = 0; t < targets_.size(); ++t) {
+        IDEA_RETURN_NOT_OK(Emit(t, record));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown connector type");
+}
+
+Status Router::Route(const Frame& frame) {
+  std::vector<adm::Value> records;
+  IDEA_RETURN_NOT_OK(frame.Decode(&records));
+  for (const auto& r : records) {
+    IDEA_RETURN_NOT_OK(RouteRecord(r));
+  }
+  return Status::OK();
+}
+
+Status Router::Flush() {
+  for (size_t t = 0; t < pending_.size(); ++t) {
+    if (!pending_[t].empty()) {
+      IDEA_RETURN_NOT_OK(targets_[t]->Push(std::move(pending_[t])));
+      pending_[t] = Frame();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace idea::runtime

@@ -1,0 +1,87 @@
+// Connectors: frame routing between partitioned operator instances, plus the
+// bounded frame queues data flows through. Mirrors Hyracks connectors
+// (one-to-one, round-robin M:N, hash M:N, broadcast).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+#include "runtime/frame.h"
+
+namespace idea::runtime {
+
+/// Bounded MPMC queue of frames with close semantics. Push blocks when full;
+/// Pop blocks until a frame arrives or the queue is closed and drained.
+class FrameQueue {
+ public:
+  explicit FrameQueue(size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Blocks while full. Fails with Aborted after Close().
+  Status Push(Frame frame);
+  /// Returns false when the queue is closed and fully drained.
+  bool Pop(Frame* out);
+  /// Non-blocking variant; returns false when nothing is available right now
+  /// (check closed() to distinguish exhaustion).
+  bool TryPop(Frame* out);
+  void Close();
+  bool closed() const;
+  size_t size() const;
+
+  /// Total records that have passed through (monotonic).
+  uint64_t records_pushed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::queue<Frame> frames_;
+  size_t capacity_;
+  bool closed_ = false;
+  uint64_t records_pushed_ = 0;
+};
+
+enum class ConnectorType : uint8_t {
+  kOneToOne,
+  kRoundRobin,
+  kHashPartition,
+  kBroadcast,
+};
+
+const char* ConnectorTypeName(ConnectorType t);
+
+/// Extracts the partitioning key from a record (hash connector).
+using KeyExtractor = std::function<adm::Value(const adm::Value&)>;
+
+/// Routes records from one upstream partition into N downstream queues
+/// according to the connector type. Buffers per-target frames and flushes
+/// them when they reach `frame_bytes`.
+class Router {
+ public:
+  Router(ConnectorType type, std::vector<std::shared_ptr<FrameQueue>> targets,
+         size_t self_partition, KeyExtractor key = nullptr, size_t frame_bytes = 32 * 1024);
+
+  /// Routes every record in the frame.
+  Status Route(const Frame& frame);
+  Status RouteRecord(const adm::Value& record);
+  /// Flushes pending partial frames (does not close targets).
+  Status Flush();
+
+ private:
+  Status Emit(size_t target, const adm::Value& record);
+
+  ConnectorType type_;
+  std::vector<std::shared_ptr<FrameQueue>> targets_;
+  size_t self_partition_;
+  KeyExtractor key_;
+  size_t frame_bytes_;
+  std::vector<Frame> pending_;
+  size_t rr_next_ = 0;
+};
+
+}  // namespace idea::runtime

@@ -1,0 +1,52 @@
+#include "runtime/frame.h"
+
+#include "adm/serde.h"
+#include "common/bytes.h"
+
+namespace idea::runtime {
+
+void Frame::Append(const adm::Value& record) {
+  offsets_.push_back(static_cast<uint32_t>(bytes_.size()));
+  ByteBuffer buf;
+  adm::SerializeValue(record, &buf);
+  bytes_.insert(bytes_.end(), buf.data(), buf.data() + buf.size());
+}
+
+Status Frame::Decode(std::vector<adm::Value>* out) const {
+  out->reserve(out->size() + offsets_.size());
+  ByteReader reader(bytes_.data(), bytes_.size());
+  for (size_t i = 0; i < offsets_.size(); ++i) {
+    IDEA_ASSIGN_OR_RETURN(adm::Value v, adm::DeserializeValue(&reader));
+    out->push_back(std::move(v));
+  }
+  if (!reader.AtEnd()) return Status::Corruption("trailing bytes in frame");
+  return Status::OK();
+}
+
+void Frame::Clear() {
+  bytes_.clear();
+  offsets_.clear();
+}
+
+Frame Frame::FromRecords(const std::vector<adm::Value>& records) {
+  Frame f;
+  for (const auto& r : records) f.Append(r);
+  return f;
+}
+
+std::vector<Frame> FrameRecords(const std::vector<adm::Value>& records,
+                                size_t target_bytes) {
+  std::vector<Frame> out;
+  Frame cur;
+  for (const auto& r : records) {
+    cur.Append(r);
+    if (cur.byte_size() >= target_bytes) {
+      out.push_back(std::move(cur));
+      cur = Frame();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace idea::runtime

@@ -1,0 +1,40 @@
+// Frames: the unit of data movement in the runtime. As in Hyracks, records
+// flow between operators and across jobs in byte frames holding multiple
+// serialized records.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace idea::runtime {
+
+class Frame {
+ public:
+  /// Serializes and appends one record.
+  void Append(const adm::Value& record);
+
+  /// Deserializes all records in the frame (appends to `out`).
+  Status Decode(std::vector<adm::Value>* out) const;
+
+  size_t record_count() const { return offsets_.size(); }
+  size_t byte_size() const { return bytes_.size(); }
+  bool empty() const { return offsets_.empty(); }
+  void Clear();
+
+  /// Builds a frame from a record span.
+  static Frame FromRecords(const std::vector<adm::Value>& records);
+
+ private:
+  std::vector<uint8_t> bytes_;
+  std::vector<uint32_t> offsets_;  // start offset of each record
+};
+
+/// Splits `records` into frames of at most `target_bytes` (at least one
+/// record per frame).
+std::vector<Frame> FrameRecords(const std::vector<adm::Value>& records,
+                                size_t target_bytes);
+
+}  // namespace idea::runtime

@@ -1,0 +1,158 @@
+#include "runtime/job_executor.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/string_util.h"
+#include "common/virtual_clock.h"
+
+namespace idea::runtime {
+
+namespace {
+
+/// Collects the first error across instances.
+class ErrorSlot {
+ public:
+  void Set(const Status& st) {
+    if (st.ok()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_.ok()) first_ = st;
+  }
+  Status Get() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Status first_;
+};
+
+}  // namespace
+
+Result<JobRunStats> JobExecutor::Run(const JobSpecification& spec) {
+  const size_t P = partitions_;
+  const size_t S = spec.stages.size();
+  WallTimer timer;
+  timer.Start();
+
+  // queues[s][p]: input queue of stage s instance p (s in [0, S)).
+  std::vector<std::vector<std::shared_ptr<FrameQueue>>> queues(S);
+  for (size_t s = 0; s < S; ++s) {
+    for (size_t p = 0; p < P; ++p) {
+      queues[s].push_back(std::make_shared<FrameQueue>());
+    }
+  }
+
+  ErrorSlot error;
+  std::atomic<uint64_t> source_records{0};
+  // remaining[s]: upstream instances still feeding stage s.
+  std::vector<std::unique_ptr<std::atomic<size_t>>> remaining;
+  for (size_t s = 0; s < S; ++s) {
+    remaining.push_back(std::make_unique<std::atomic<size_t>>(P));
+  }
+  auto close_stage_inputs = [&](size_t s) {
+    for (auto& q : queues[s]) q->Close();
+  };
+
+  std::vector<std::thread> threads;
+
+  // Source instances.
+  for (size_t p = 0; p < P; ++p) {
+    threads.emplace_back([&, p] {
+      OperatorContext ctx = base_;
+      ctx.partition = p;
+      ctx.num_partitions = P;
+      ctx.node_id = StringPrintf("node-%zu", p);
+      auto run = [&]() -> Status {
+        IDEA_ASSIGN_OR_RETURN(std::unique_ptr<SourceOperator> src, spec.make_source(ctx));
+        if (S == 0) {
+          return src->Run(ctx, [&](const adm::Value&) -> Status {
+            source_records.fetch_add(1, std::memory_order_relaxed);
+            return Status::OK();
+          });
+        }
+        Router router(spec.stages[0].input_connector, queues[0], p,
+                      spec.stages[0].hash_key);
+        IDEA_RETURN_NOT_OK(src->Run(ctx, [&](const adm::Value& rec) -> Status {
+          source_records.fetch_add(1, std::memory_order_relaxed);
+          return router.RouteRecord(rec);
+        }));
+        return router.Flush();
+      };
+      Status st = run();
+      error.Set(st);
+      if (S > 0 && remaining[0]->fetch_sub(1) == 1) close_stage_inputs(0);
+      if (!st.ok() && S > 0) close_stage_inputs(0);  // unblock downstream
+    });
+  }
+
+  // Stage instances.
+  for (size_t s = 0; s < S; ++s) {
+    for (size_t p = 0; p < P; ++p) {
+      threads.emplace_back([&, s, p] {
+        OperatorContext ctx = base_;
+        ctx.partition = p;
+        ctx.num_partitions = P;
+        ctx.node_id = StringPrintf("node-%zu", p);
+        const bool last = s + 1 == S;
+        auto run = [&]() -> Status {
+          IDEA_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op,
+                                spec.stages[s].make_operator(ctx));
+          std::unique_ptr<Router> router;
+          Emit emit;
+          if (last) {
+            emit = [](const adm::Value&) -> Status { return Status::OK(); };
+          } else {
+            router = std::make_unique<Router>(spec.stages[s + 1].input_connector,
+                                              queues[s + 1], p,
+                                              spec.stages[s + 1].hash_key);
+            emit = [&](const adm::Value& rec) -> Status {
+              return router->RouteRecord(rec);
+            };
+          }
+          IDEA_RETURN_NOT_OK(op->Open(ctx));
+          Frame frame;
+          while (queues[s][p]->Pop(&frame)) {
+            std::vector<adm::Value> records;
+            IDEA_RETURN_NOT_OK(frame.Decode(&records));
+            for (const auto& rec : records) {
+              IDEA_RETURN_NOT_OK(op->Process(rec, emit));
+            }
+          }
+          IDEA_RETURN_NOT_OK(op->Finish(emit));
+          if (router != nullptr) IDEA_RETURN_NOT_OK(router->Flush());
+          return Status::OK();
+        };
+        Status st = run();
+        error.Set(st);
+        if (!last && remaining[s + 1]->fetch_sub(1) == 1) close_stage_inputs(s + 1);
+        if (!st.ok()) {
+          // Drain our queue so upstream pushes don't deadlock, and release
+          // downstream.
+          queues[s][p]->Close();
+          if (!last) close_stage_inputs(s + 1);
+          Frame junk;
+          while (queues[s][p]->TryPop(&junk)) {
+          }
+        }
+      });
+    }
+  }
+
+  for (auto& t : threads) t.join();
+
+  IDEA_RETURN_NOT_OK(error.Get());
+  JobRunStats stats;
+  stats.wall_micros = timer.ElapsedMicros();
+  stats.source_records = source_records.load();
+  for (size_t s = 0; s < S; ++s) {
+    uint64_t n = 0;
+    for (const auto& q : queues[s]) n += q->records_pushed();
+    stats.stage_input_records.push_back(n);
+  }
+  return stats;
+}
+
+}  // namespace idea::runtime

@@ -1,0 +1,16 @@
+#include "runtime/job_spec.h"
+
+namespace idea::runtime {
+
+std::string JobSpecification::Describe() const {
+  std::string out = name + ": source";
+  for (const auto& s : stages) {
+    out += " =(";
+    out += ConnectorTypeName(s.input_connector);
+    out += ")=> ";
+    out += s.name;
+  }
+  return out;
+}
+
+}  // namespace idea::runtime

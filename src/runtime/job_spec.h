@@ -1,0 +1,53 @@
+// Job specifications: the compiled description of a job — a source stage
+// followed by partitioned operator stages wired by connectors. This is the
+// linear-pipeline subset of Hyracks DAG jobs (every job in the ingestion
+// framework and the Figure-2-style query jobs are linear pipelines of
+// partitioned stages).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/connectors.h"
+#include "runtime/operators.h"
+
+namespace idea::runtime {
+
+using OperatorFactory =
+    std::function<Result<std::unique_ptr<Operator>>(const OperatorContext&)>;
+using SourceFactory =
+    std::function<Result<std::unique_ptr<SourceOperator>>(const OperatorContext&)>;
+
+struct StageSpec {
+  std::string name;
+  /// How records travel from the previous stage to this one.
+  ConnectorType input_connector = ConnectorType::kOneToOne;
+  /// Partitioning key for kHashPartition.
+  KeyExtractor hash_key;
+  OperatorFactory make_operator;
+};
+
+struct JobSpecification {
+  std::string name;
+  SourceFactory make_source;
+  std::vector<StageSpec> stages;
+
+  JobSpecification& Source(SourceFactory f) {
+    make_source = std::move(f);
+    return *this;
+  }
+  JobSpecification& Stage(std::string stage_name, ConnectorType connector,
+                          OperatorFactory f, KeyExtractor key = nullptr) {
+    stages.push_back(StageSpec{std::move(stage_name), connector, std::move(key),
+                               std::move(f)});
+    return *this;
+  }
+
+  /// One-line topology summary, e.g.
+  /// "scan =(hash-partition)=> groupby =(one-to-one)=> sink".
+  std::string Describe() const;
+};
+
+}  // namespace idea::runtime

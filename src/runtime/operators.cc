@@ -1,0 +1,144 @@
+#include "runtime/operators.h"
+
+namespace idea::runtime {
+
+using adm::Value;
+
+Status DatasetScanSource::Run(const OperatorContext& ctx, const Emit& emit) {
+  if (ctx.datasets == nullptr) return Status::Internal("scan without dataset accessor");
+  IDEA_ASSIGN_OR_RETURN(sqlpp::Snapshot snap, ctx.datasets->GetSnapshot(dataset_));
+  for (size_t i = ctx.partition; i < snap->size(); i += ctx.num_partitions) {
+    IDEA_RETURN_NOT_OK(emit((*snap)[i]));
+  }
+  return Status::OK();
+}
+
+Status VectorSource::Run(const OperatorContext& ctx, const Emit& emit) {
+  for (size_t i = ctx.partition; i < records_->size(); i += ctx.num_partitions) {
+    IDEA_RETURN_NOT_OK(emit((*records_)[i]));
+  }
+  return Status::OK();
+}
+
+Status TransformOperator::Process(const Value& record, const Emit& emit) {
+  IDEA_ASSIGN_OR_RETURN(Value out, fn_(record));
+  return emit(out);
+}
+
+Status FilterOperator::Process(const Value& record, const Emit& emit) {
+  IDEA_ASSIGN_OR_RETURN(bool keep, pred_(record));
+  return keep ? emit(record) : Status::OK();
+}
+
+Status UdfEnrichOperator::Open(const OperatorContext& ctx) {
+  (void)ctx;
+  return plan_->Initialize();
+}
+
+Status UdfEnrichOperator::Process(const Value& record, const Emit& emit) {
+  IDEA_ASSIGN_OR_RETURN(Value out, plan_->EnrichOne(record));
+  return emit(out);
+}
+
+GroupByOperator::GroupByOperator(std::string key_field,
+                                 std::function<Value(const Value&)> key_extractor,
+                                 std::vector<AggSpec> aggs)
+    : key_field_(std::move(key_field)),
+      key_extractor_(std::move(key_extractor)),
+      aggs_(std::move(aggs)) {}
+
+Status GroupByOperator::Process(const Value& record, const Emit& emit) {
+  (void)emit;
+  Value key = key_extractor_(record);
+  uint64_t h = Value::Hash(key);
+  auto& bucket = groups_[h];
+  GroupState* state = nullptr;
+  for (auto& g : bucket) {
+    if (Value::Compare(g.key, key) == 0) {
+      state = &g;
+      break;
+    }
+  }
+  if (state == nullptr) {
+    GroupState fresh;
+    fresh.key = key;
+    for (const auto& agg : aggs_) {
+      switch (agg.kind) {
+        case AggKind::kCount:
+        case AggKind::kSum:
+          fresh.accs.push_back(Value::MakeInt(0));
+          break;
+        case AggKind::kMin:
+        case AggKind::kMax:
+          fresh.accs.push_back(Value::MakeNull());
+          break;
+      }
+    }
+    bucket.push_back(std::move(fresh));
+    state = &bucket.back();
+    ++group_count_;
+  }
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& agg = aggs_[i];
+    Value& acc = state->accs[i];
+    Value v = agg.extract ? agg.extract(record) : Value::MakeInt(1);
+    if (v.IsUnknown()) continue;
+    switch (agg.kind) {
+      case AggKind::kCount:
+        acc = Value::MakeInt(acc.AsInt() + 1);
+        break;
+      case AggKind::kSum:
+        if (!v.IsNumeric()) {
+          return Status::TypeMismatch("sum over non-numeric value " + v.ToString());
+        }
+        if (acc.IsInt() && v.IsInt()) {
+          acc = Value::MakeInt(acc.AsInt() + v.AsInt());
+        } else {
+          acc = Value::MakeDouble(acc.AsNumber() + v.AsNumber());
+        }
+        break;
+      case AggKind::kMin:
+        if (acc.IsNull() || Value::Compare(v, acc) < 0) acc = std::move(v);
+        break;
+      case AggKind::kMax:
+        if (acc.IsNull() || Value::Compare(v, acc) > 0) acc = std::move(v);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status GroupByOperator::Finish(const Emit& emit) {
+  for (auto& [h, bucket] : groups_) {
+    (void)h;
+    for (auto& g : bucket) {
+      adm::Fields fields;
+      fields.emplace_back(key_field_, std::move(g.key));
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        fields.emplace_back(aggs_[i].output_field, std::move(g.accs[i]));
+      }
+      IDEA_RETURN_NOT_OK(emit(Value::MakeObject(std::move(fields))));
+    }
+  }
+  groups_.clear();
+  return Status::OK();
+}
+
+Status InsertOperator::Process(const Value& record, const Emit& emit) {
+  (void)emit;
+  return upsert_ ? dataset_->Upsert(record) : dataset_->Insert(record);
+}
+
+Status InsertOperator::Finish(const Emit& emit) {
+  (void)emit;
+  return dataset_->FlushWal();
+}
+
+Status CollectorSink::Process(const Value& record, const Emit& emit) {
+  (void)emit;
+  std::lock_guard<std::mutex> lock(out_->mu);
+  out_->records.push_back(record);
+  return Status::OK();
+}
+
+}  // namespace idea::runtime

@@ -1,0 +1,190 @@
+// Push-based operators. A job stage holds one Operator instance per
+// partition; records enter through Process() and leave through the Emit
+// callback; Finish() flushes operator state (e.g. group-by tables) when the
+// input is exhausted.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+#include "sqlpp/enrichment_plan.h"
+#include "sqlpp/evaluator.h"
+#include "storage/lsm_dataset.h"
+
+namespace idea::runtime {
+
+/// Per-instance execution context.
+struct OperatorContext {
+  std::string node_id;
+  size_t partition = 0;
+  size_t num_partitions = 1;
+  sqlpp::DatasetAccessor* datasets = nullptr;
+  const sqlpp::FunctionResolver* functions = nullptr;
+};
+
+using Emit = std::function<Status(const adm::Value&)>;
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual Status Open(const OperatorContext& ctx) {
+    (void)ctx;
+    return Status::OK();
+  }
+  virtual Status Process(const adm::Value& record, const Emit& emit) = 0;
+  /// Called once after the last Process; emit any buffered output here.
+  virtual Status Finish(const Emit& emit) {
+    (void)emit;
+    return Status::OK();
+  }
+};
+
+/// A source runs to completion, emitting records (stage 0 of a job).
+class SourceOperator {
+ public:
+  virtual ~SourceOperator() = default;
+  virtual Status Run(const OperatorContext& ctx, const Emit& emit) = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Scans a dataset snapshot; each partition takes a round-robin slice.
+class DatasetScanSource : public SourceOperator {
+ public:
+  explicit DatasetScanSource(std::string dataset) : dataset_(std::move(dataset)) {}
+  Status Run(const OperatorContext& ctx, const Emit& emit) override;
+
+ private:
+  std::string dataset_;
+};
+
+/// Emits a partition slice of a shared in-memory record vector.
+class VectorSource : public SourceOperator {
+ public:
+  explicit VectorSource(std::shared_ptr<const std::vector<adm::Value>> records)
+      : records_(std::move(records)) {}
+  Status Run(const OperatorContext& ctx, const Emit& emit) override;
+
+ private:
+  std::shared_ptr<const std::vector<adm::Value>> records_;
+};
+
+// ---------------------------------------------------------------------------
+// Record-at-a-time operators
+// ---------------------------------------------------------------------------
+
+/// Applies a function to each record (assign/project).
+class TransformOperator : public Operator {
+ public:
+  using Fn = std::function<Result<adm::Value>(const adm::Value&)>;
+  explicit TransformOperator(Fn fn) : fn_(std::move(fn)) {}
+  Status Process(const adm::Value& record, const Emit& emit) override;
+
+ private:
+  Fn fn_;
+};
+
+/// Drops records failing the predicate.
+class FilterOperator : public Operator {
+ public:
+  using Pred = std::function<Result<bool>(const adm::Value&)>;
+  explicit FilterOperator(Pred pred) : pred_(std::move(pred)) {}
+  Status Process(const adm::Value& record, const Emit& emit) override;
+
+ private:
+  Pred pred_;
+};
+
+/// Evaluates an enrichment UDF over each record. Open() (re)initializes the
+/// plan's intermediate state — so a freshly opened operator sees current
+/// reference data, while a long-lived instance (static pipeline) keeps its
+/// initial state for its whole lifetime.
+class UdfEnrichOperator : public Operator {
+ public:
+  explicit UdfEnrichOperator(std::unique_ptr<sqlpp::EnrichmentPlan> plan)
+      : plan_(std::move(plan)) {}
+  Status Open(const OperatorContext& ctx) override;
+  Status Process(const adm::Value& record, const Emit& emit) override;
+  const sqlpp::EnrichmentPlan& plan() const { return *plan_; }
+
+ private:
+  std::unique_ptr<sqlpp::EnrichmentPlan> plan_;
+};
+
+// ---------------------------------------------------------------------------
+// Group-by (local/global split as in Figure 2's SortGroupBy pair)
+// ---------------------------------------------------------------------------
+
+enum class AggKind : uint8_t { kCount, kSum, kMin, kMax };
+
+struct AggSpec {
+  std::string output_field;
+  AggKind kind;
+  /// Value to aggregate; null extractor means "1 per record" (count(*)).
+  std::function<adm::Value(const adm::Value&)> extract;
+};
+
+/// Hash group-by: Process accumulates, Finish emits one record per group
+/// ({key_field: key, <aggs>}). A *global* (merge) stage consumes partials by
+/// summing pre-aggregated fields: express it with kSum over the partial
+/// field.
+class GroupByOperator : public Operator {
+ public:
+  GroupByOperator(std::string key_field,
+                  std::function<adm::Value(const adm::Value&)> key_extractor,
+                  std::vector<AggSpec> aggs);
+  Status Process(const adm::Value& record, const Emit& emit) override;
+  Status Finish(const Emit& emit) override;
+
+ private:
+  struct GroupState {
+    adm::Value key;
+    std::vector<adm::Value> accs;
+  };
+  std::string key_field_;
+  std::function<adm::Value(const adm::Value&)> key_extractor_;
+  std::vector<AggSpec> aggs_;
+  std::unordered_map<uint64_t, std::vector<GroupState>> groups_;
+  size_t group_count_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Writes records into an LSM dataset; Finish() group-commits the WAL (the
+/// log-flush wait of paper §5.2).
+class InsertOperator : public Operator {
+ public:
+  InsertOperator(std::shared_ptr<storage::LsmDataset> dataset, bool upsert)
+      : dataset_(std::move(dataset)), upsert_(upsert) {}
+  Status Process(const adm::Value& record, const Emit& emit) override;
+  Status Finish(const Emit& emit) override;
+
+ private:
+  std::shared_ptr<storage::LsmDataset> dataset_;
+  bool upsert_;
+};
+
+/// Collects records into a shared, mutex-guarded vector.
+class CollectorSink : public Operator {
+ public:
+  struct Output {
+    std::mutex mu;
+    std::vector<adm::Value> records;
+  };
+  explicit CollectorSink(std::shared_ptr<Output> out) : out_(std::move(out)) {}
+  Status Process(const adm::Value& record, const Emit& emit) override;
+
+ private:
+  std::shared_ptr<Output> out_;
+};
+
+}  // namespace idea::runtime

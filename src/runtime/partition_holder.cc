@@ -1,0 +1,130 @@
+#include "runtime/partition_holder.h"
+
+namespace idea::runtime {
+
+Status IntakePartitionHolder::Push(std::string raw_record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_push_.wait(lock, [&] { return records_.size() < capacity_ || eof_; });
+  if (eof_) return Status::Aborted("push into finished intake partition holder");
+  records_.push_back(std::move(raw_record));
+  ++stats_.records_in;
+  ++stats_.pushes;
+  can_pull_.notify_one();
+  return Status::OK();
+}
+
+void IntakePartitionHolder::PushEof() {
+  std::lock_guard<std::mutex> lock(mu_);
+  eof_ = true;
+  can_pull_.notify_all();
+  can_push_.notify_all();
+}
+
+bool IntakePartitionHolder::PullBatch(size_t max_records, std::vector<std::string>* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait for a full batch or EOF (paper §6.1: on EOF the computing job runs
+  // with whatever was collected).
+  can_pull_.wait(lock, [&] { return records_.size() >= max_records || eof_; });
+  if (records_.empty() && eof_) return false;
+  size_t n = std::min(max_records, records_.size());
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(records_.front()));
+    records_.pop_front();
+  }
+  stats_.records_out += n;
+  ++stats_.pulls;
+  can_push_.notify_all();
+  return true;
+}
+
+bool IntakePartitionHolder::ExhaustedForTest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return eof_ && records_.empty();
+}
+
+HolderStats IntakePartitionHolder::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status StoragePartitionHolder::Push(Frame frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_push_.wait(lock, [&] { return frames_.size() < capacity_ || closed_; });
+  if (closed_) return Status::Aborted("push into closed storage partition holder");
+  stats_.records_in += frame.record_count();
+  ++stats_.pushes;
+  frames_.push_back(std::move(frame));
+  can_pop_.notify_one();
+  return Status::OK();
+}
+
+bool StoragePartitionHolder::Pop(Frame* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_pop_.wait(lock, [&] { return !frames_.empty() || closed_; });
+  if (frames_.empty()) return false;
+  *out = std::move(frames_.front());
+  frames_.pop_front();
+  stats_.records_out += out->record_count();
+  ++stats_.pulls;
+  can_push_.notify_one();
+  return true;
+}
+
+void StoragePartitionHolder::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  can_pop_.notify_all();
+  can_push_.notify_all();
+}
+
+HolderStats StoragePartitionHolder::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status PartitionHolderManager::RegisterIntake(
+    std::shared_ptr<IntakePartitionHolder> holder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = intake_.emplace(holder->id(), holder);
+  if (!inserted) {
+    return Status::AlreadyExists("intake partition holder " + it->first.ToString() +
+                                 " already registered");
+  }
+  return Status::OK();
+}
+
+Status PartitionHolderManager::RegisterStorage(
+    std::shared_ptr<StoragePartitionHolder> holder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = storage_.emplace(holder->id(), holder);
+  if (!inserted) {
+    return Status::AlreadyExists("storage partition holder " + it->first.ToString() +
+                                 " already registered");
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<IntakePartitionHolder> PartitionHolderManager::FindIntake(
+    const PartitionHolderId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = intake_.find(id);
+  return it == intake_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<StoragePartitionHolder> PartitionHolderManager::FindStorage(
+    const PartitionHolderId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = storage_.find(id);
+  return it == storage_.end() ? nullptr : it->second;
+}
+
+Status PartitionHolderManager::Unregister(const PartitionHolderId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (intake_.erase(id) + storage_.erase(id) == 0) {
+    return Status::NotFound("no partition holder " + id.ToString());
+  }
+  return Status::OK();
+}
+
+}  // namespace idea::runtime

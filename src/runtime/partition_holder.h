@@ -1,0 +1,121 @@
+// Partition holders: the new Hyracks operator class introduced by the paper
+// (§5.3) to let data cross job boundaries through in-memory queues.
+//
+//   * A *passive* partition holder (tail of the intake job) buffers incoming
+//     records and waits for another job to PULL them — computing jobs
+//     collect their input batches here.
+//   * An *active* partition holder (head of the storage job) receives frames
+//     pushed by computing jobs and actively drives them into its downstream
+//     operators.
+//
+// Each holder has a unique id (feed, role, partition) and registers with the
+// per-node PartitionHolderManager so jobs can locate their peers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "runtime/frame.h"
+
+namespace idea::runtime {
+
+struct PartitionHolderId {
+  std::string feed;
+  std::string role;  // "intake" | "storage"
+  size_t partition = 0;
+
+  std::string ToString() const {
+    return feed + "/" + role + "/" + std::to_string(partition);
+  }
+  bool operator<(const PartitionHolderId& o) const {
+    return ToString() < o.ToString();
+  }
+};
+
+struct HolderStats {
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+  uint64_t pulls = 0;
+  uint64_t pushes = 0;
+};
+
+/// Passive holder: raw (unparsed) records queue up; computing jobs pull
+/// batches. The feed's EOF marker makes an in-progress pull return with a
+/// partial batch (paper §6.1).
+class IntakePartitionHolder {
+ public:
+  IntakePartitionHolder(PartitionHolderId id, size_t capacity = 1u << 16)
+      : id_(std::move(id)), capacity_(capacity) {}
+
+  const PartitionHolderId& id() const { return id_; }
+
+  /// Enqueues one raw record; blocks while the holder is full.
+  Status Push(std::string raw_record);
+  /// Marks end-of-feed: pending pulls complete with what they have.
+  void PushEof();
+
+  /// Pulls up to `max_records`, blocking until the batch fills or EOF.
+  /// Returns false when the holder is exhausted (EOF seen and drained).
+  bool PullBatch(size_t max_records, std::vector<std::string>* out);
+
+  bool ExhaustedForTest() const;
+  HolderStats stats() const;
+
+ private:
+  PartitionHolderId id_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pull_;
+  std::deque<std::string> records_;
+  bool eof_ = false;
+  HolderStats stats_;
+};
+
+/// Active holder: computing jobs push enriched frames; the storage job's
+/// drain loop pops them and pushes on to its partitioner.
+class StoragePartitionHolder {
+ public:
+  StoragePartitionHolder(PartitionHolderId id, size_t capacity = 256)
+      : id_(std::move(id)), capacity_(capacity) {}
+
+  const PartitionHolderId& id() const { return id_; }
+
+  Status Push(Frame frame);
+  /// Blocks until a frame arrives; false when closed and drained.
+  bool Pop(Frame* out);
+  void Close();
+  HolderStats stats() const;
+
+ private:
+  PartitionHolderId id_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<Frame> frames_;
+  bool closed_ = false;
+  HolderStats stats_;
+};
+
+/// Per-node registry; jobs locate local partition holders here (paper §5.3).
+class PartitionHolderManager {
+ public:
+  Status RegisterIntake(std::shared_ptr<IntakePartitionHolder> holder);
+  Status RegisterStorage(std::shared_ptr<StoragePartitionHolder> holder);
+  std::shared_ptr<IntakePartitionHolder> FindIntake(const PartitionHolderId& id) const;
+  std::shared_ptr<StoragePartitionHolder> FindStorage(const PartitionHolderId& id) const;
+  Status Unregister(const PartitionHolderId& id);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<PartitionHolderId, std::shared_ptr<IntakePartitionHolder>> intake_;
+  std::map<PartitionHolderId, std::shared_ptr<StoragePartitionHolder>> storage_;
+};
+
+}  // namespace idea::runtime

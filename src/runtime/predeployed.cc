@@ -1,0 +1,60 @@
+#include "runtime/predeployed.h"
+
+#include "common/virtual_clock.h"
+
+namespace idea::runtime {
+
+Status PredeployedJobManager::Deploy(
+    const std::string& job_id, size_t nodes,
+    const std::function<Result<std::unique_ptr<JobArtifact>>(size_t node)>& compile) {
+  std::vector<std::unique_ptr<JobArtifact>> artifacts;
+  WallTimer timer;
+  timer.Start();
+  artifacts.reserve(nodes);
+  for (size_t n = 0; n < nodes; ++n) {
+    IDEA_ASSIGN_OR_RETURN(std::unique_ptr<JobArtifact> a, compile(n));
+    artifacts.push_back(std::move(a));
+  }
+  double micros = timer.ElapsedMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = deployments_.emplace(job_id, std::move(artifacts));
+  if (!inserted) {
+    return Status::AlreadyExists("job '" + it->first + "' is already predeployed");
+  }
+  ++stats_.deployments;
+  stats_.total_compile_micros += micros;
+  return Status::OK();
+}
+
+JobArtifact* PredeployedJobManager::Get(const std::string& job_id, size_t node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = deployments_.find(job_id);
+  if (it == deployments_.end() || node >= it->second.size()) return nullptr;
+  return it->second[node].get();
+}
+
+void PredeployedJobManager::RecordInvocation(const std::string& job_id) {
+  (void)job_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.invocations;
+}
+
+Status PredeployedJobManager::Undeploy(const std::string& job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (deployments_.erase(job_id) == 0) {
+    return Status::NotFound("job '" + job_id + "' is not predeployed");
+  }
+  return Status::OK();
+}
+
+bool PredeployedJobManager::IsDeployed(const std::string& job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deployments_.count(job_id) > 0;
+}
+
+PredeployStats PredeployedJobManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace idea::runtime

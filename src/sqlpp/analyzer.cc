@@ -1,0 +1,240 @@
+#include "sqlpp/analyzer.h"
+
+namespace idea::sqlpp {
+
+namespace {
+
+void CollectFreeVarsQuery(const SelectStatement& q, std::set<std::string> bound,
+                          std::set<std::string>* out);
+
+void CollectFreeVarsExpr(const Expr& e, const std::set<std::string>& bound,
+                         std::set<std::string>* out) {
+  switch (e.kind) {
+    case ExprKind::kVarRef:
+      if (bound.find(e.var) == bound.end()) out->insert(e.var);
+      return;
+    case ExprKind::kSubquery:
+    case ExprKind::kExists:
+      CollectFreeVarsQuery(*e.subquery, bound, out);
+      return;
+    case ExprKind::kIn:
+      CollectFreeVarsExpr(*e.left, bound, out);
+      if (e.subquery != nullptr) {
+        CollectFreeVarsQuery(*e.subquery, bound, out);
+      } else {
+        CollectFreeVarsExpr(*e.right, bound, out);
+      }
+      return;
+    default:
+      break;
+  }
+  auto walk = [&](const ExprPtr& p) {
+    if (p != nullptr) CollectFreeVarsExpr(*p, bound, out);
+  };
+  walk(e.base);
+  walk(e.index);
+  walk(e.left);
+  walk(e.right);
+  for (const auto& a : e.args) walk(a);
+  walk(e.case_operand);
+  for (const auto& arm : e.case_arms) {
+    walk(arm.when);
+    walk(arm.then);
+  }
+  walk(e.case_else);
+  for (const auto& [n, f] : e.object_fields) {
+    (void)n;
+    walk(f);
+  }
+  for (const auto& el : e.elements) walk(el);
+}
+
+void CollectFreeVarsQuery(const SelectStatement& q, std::set<std::string> bound,
+                          std::set<std::string>* out) {
+  for (const auto& let : q.lets) {
+    if (!let.pre_from) continue;
+    CollectFreeVarsExpr(*let.expr, bound, out);
+    bound.insert(let.name);
+  }
+  for (const auto& f : q.from) {
+    if (f.expr != nullptr) CollectFreeVarsExpr(*f.expr, bound, out);
+    // A dataset-name FROM item is a free variable use if not shadowed by a
+    // dataset: treated conservatively as a variable reference here.
+    if (f.source == FromClause::Source::kDataset &&
+        bound.find(f.dataset) == bound.end()) {
+      out->insert(f.dataset);
+    }
+    bound.insert(f.alias);
+  }
+  for (const auto& let : q.lets) {
+    if (let.pre_from) continue;
+    CollectFreeVarsExpr(*let.expr, bound, out);
+    bound.insert(let.name);
+  }
+  if (q.where != nullptr) CollectFreeVarsExpr(*q.where, bound, out);
+  for (const auto& g : q.group_by) {
+    CollectFreeVarsExpr(*g.expr, bound, out);
+    if (!g.alias.empty()) bound.insert(g.alias);
+  }
+  for (const auto& let : q.group_lets) {
+    CollectFreeVarsExpr(*let.expr, bound, out);
+    bound.insert(let.name);
+  }
+  if (q.having != nullptr) CollectFreeVarsExpr(*q.having, bound, out);
+  for (const auto& o : q.order_by) CollectFreeVarsExpr(*o.expr, bound, out);
+  if (q.select_value != nullptr) CollectFreeVarsExpr(*q.select_value, bound, out);
+  for (const auto& p : q.projections) {
+    if (p.expr != nullptr) CollectFreeVarsExpr(*p.expr, bound, out);
+  }
+}
+
+void CollectDatasetRefsExpr(const Expr& e, const std::set<std::string>& bound,
+                            std::set<std::string>* out);
+
+void CollectDatasetRefsQuery(const SelectStatement& q, std::set<std::string> bound,
+                             std::set<std::string>* out) {
+  for (const auto& let : q.lets) {
+    if (!let.pre_from) continue;
+    CollectDatasetRefsExpr(*let.expr, bound, out);
+    bound.insert(let.name);
+  }
+  for (const auto& f : q.from) {
+    if (f.expr != nullptr) CollectDatasetRefsExpr(*f.expr, bound, out);
+    if ((f.source == FromClause::Source::kDataset ||
+         f.source == FromClause::Source::kFeed) &&
+        bound.find(f.dataset) == bound.end()) {
+      out->insert(f.dataset);
+    }
+    bound.insert(f.alias);
+  }
+  for (const auto& let : q.lets) {
+    if (let.pre_from) continue;
+    CollectDatasetRefsExpr(*let.expr, bound, out);
+    bound.insert(let.name);
+  }
+  auto walk = [&](const ExprPtr& p) {
+    if (p != nullptr) CollectDatasetRefsExpr(*p, bound, out);
+  };
+  walk(q.where);
+  for (const auto& g : q.group_by) walk(g.expr);
+  for (const auto& let : q.group_lets) walk(let.expr);
+  walk(q.having);
+  for (const auto& o : q.order_by) walk(o.expr);
+  walk(q.select_value);
+  for (const auto& p : q.projections) walk(p.expr);
+}
+
+void CollectDatasetRefsExpr(const Expr& e, const std::set<std::string>& bound,
+                            std::set<std::string>* out) {
+  if (e.kind == ExprKind::kSubquery || e.kind == ExprKind::kExists) {
+    CollectDatasetRefsQuery(*e.subquery, bound, out);
+    return;
+  }
+  if (e.kind == ExprKind::kIn && e.subquery != nullptr) {
+    CollectDatasetRefsExpr(*e.left, bound, out);
+    CollectDatasetRefsQuery(*e.subquery, bound, out);
+    return;
+  }
+  auto walk = [&](const ExprPtr& p) {
+    if (p != nullptr) CollectDatasetRefsExpr(*p, bound, out);
+  };
+  walk(e.base);
+  walk(e.index);
+  walk(e.left);
+  walk(e.right);
+  for (const auto& a : e.args) walk(a);
+  walk(e.case_operand);
+  for (const auto& arm : e.case_arms) {
+    walk(arm.when);
+    walk(arm.then);
+  }
+  walk(e.case_else);
+  for (const auto& [n, f] : e.object_fields) {
+    (void)n;
+    walk(f);
+  }
+  for (const auto& el : e.elements) walk(el);
+}
+
+void CollectCalledFunctionsExpr(const Expr& e, std::set<std::string>* out);
+
+void CollectCalledFunctionsQuery(const SelectStatement& q, std::set<std::string>* out) {
+  auto walk = [&](const ExprPtr& p) {
+    if (p != nullptr) CollectCalledFunctionsExpr(*p, out);
+  };
+  for (const auto& f : q.from) walk(f.expr);
+  for (const auto& let : q.lets) walk(let.expr);
+  walk(q.where);
+  for (const auto& g : q.group_by) walk(g.expr);
+  for (const auto& let : q.group_lets) walk(let.expr);
+  walk(q.having);
+  for (const auto& o : q.order_by) walk(o.expr);
+  walk(q.select_value);
+  for (const auto& p : q.projections) walk(p.expr);
+}
+
+void CollectCalledFunctionsExpr(const Expr& e, std::set<std::string>* out) {
+  if (e.kind == ExprKind::kFunctionCall) {
+    out->insert(e.fn_library.empty() ? e.fn_name : e.fn_library + "#" + e.fn_name);
+  }
+  if (e.subquery != nullptr) CollectCalledFunctionsQuery(*e.subquery, out);
+  auto walk = [&](const ExprPtr& p) {
+    if (p != nullptr) CollectCalledFunctionsExpr(*p, out);
+  };
+  walk(e.base);
+  walk(e.index);
+  walk(e.left);
+  walk(e.right);
+  for (const auto& a : e.args) walk(a);
+  walk(e.case_operand);
+  for (const auto& arm : e.case_arms) {
+    walk(arm.when);
+    walk(arm.then);
+  }
+  walk(e.case_else);
+  for (const auto& [n, f] : e.object_fields) {
+    (void)n;
+    walk(f);
+  }
+  for (const auto& el : e.elements) walk(el);
+}
+
+}  // namespace
+
+void CollectFreeVars(const Expr& e, const std::set<std::string>& bound,
+                     std::set<std::string>* out) {
+  CollectFreeVarsExpr(e, bound, out);
+}
+
+void CollectDatasetRefs(const SelectStatement& q, const std::set<std::string>& bound,
+                        std::set<std::string>* out) {
+  CollectDatasetRefsQuery(q, bound, out);
+}
+
+FunctionAnalysis AnalyzeFunctionBody(const SelectStatement& body,
+                                     const std::vector<std::string>& params) {
+  FunctionAnalysis out;
+  std::set<std::string> bound(params.begin(), params.end());
+  CollectDatasetRefs(body, bound, &out.referenced_datasets);
+  out.stateful = !out.referenced_datasets.empty();
+  CollectCalledFunctionsQuery(body, &out.called_functions);
+  return out;
+}
+
+void SplitConjuncts(const Expr& pred, std::vector<const Expr*>* out) {
+  if (pred.kind == ExprKind::kBinary && pred.binary_op == BinaryOp::kAnd) {
+    SplitConjuncts(*pred.left, out);
+    SplitConjuncts(*pred.right, out);
+    return;
+  }
+  out->push_back(&pred);
+}
+
+bool IsFieldOfVar(const Expr& e, const std::string& var, std::string* field) {
+  if (e.kind != ExprKind::kFieldAccess || e.base == nullptr) return false;
+  if (e.base->kind != ExprKind::kVarRef || e.base->var != var) return false;
+  *field = e.field;
+  return true;
+}
+
+}  // namespace idea::sqlpp

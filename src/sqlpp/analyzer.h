@@ -1,0 +1,46 @@
+// Static analysis over SQL++ ASTs: free variables, referenced datasets, and
+// UDF statefulness classification (paper §4.3.1: a UDF is *stateful* when it
+// consults anything beyond its input record — reference datasets or loaded
+// resources — and so builds intermediate state that must be refreshed when
+// the referenced data changes).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "sqlpp/ast.h"
+
+namespace idea::sqlpp {
+
+/// Appends the free variable names of `e` (variables not bound by any
+/// enclosing subquery scope within `e`) to `out`. `bound` seeds the bound set.
+void CollectFreeVars(const Expr& e, const std::set<std::string>& bound,
+                     std::set<std::string>* out);
+
+/// Appends every dataset name referenced by FROM clauses anywhere in the
+/// block (subqueries included). A FROM name shadowed by an in-scope variable
+/// (parameter, LET, outer alias) is *not* a dataset reference.
+void CollectDatasetRefs(const SelectStatement& q, const std::set<std::string>& bound,
+                        std::set<std::string>* out);
+
+/// Analysis result for a SQL++ function definition.
+struct FunctionAnalysis {
+  /// True when the body references at least one dataset: the function builds
+  /// intermediate state from reference data and cannot be streamed (Model 3).
+  bool stateful = false;
+  std::set<std::string> referenced_datasets;
+  /// Names of other (SQL++ or native) functions called by the body.
+  std::set<std::string> called_functions;
+};
+
+FunctionAnalysis AnalyzeFunctionBody(const SelectStatement& body,
+                                     const std::vector<std::string>& params);
+
+/// Splits a predicate into its top-level AND conjuncts (borrowed pointers).
+void SplitConjuncts(const Expr& pred, std::vector<const Expr*>* out);
+
+/// True when `e` is a single-step field access rooted at variable `var`
+/// (i.e. `var.field`); sets *field on success.
+bool IsFieldOfVar(const Expr& e, const std::string& var, std::string* field);
+
+}  // namespace idea::sqlpp

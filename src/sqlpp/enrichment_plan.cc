@@ -1,0 +1,483 @@
+#include "sqlpp/enrichment_plan.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "adm/spatial.h"
+#include "common/string_util.h"
+#include "common/virtual_clock.h"
+
+namespace idea::sqlpp {
+
+using adm::Value;
+
+const char* AccessPathKindName(AccessPathKind k) {
+  switch (k) {
+    case AccessPathKind::kHashBuildProbe:
+      return "hash-build-probe";
+    case AccessPathKind::kIndexNestedLoopEq:
+      return "index-nested-loop(btree)";
+    case AccessPathKind::kIndexNestedLoopSpatial:
+      return "index-nested-loop(rtree)";
+    case AccessPathKind::kScan:
+      return "scan(nested-loop)";
+  }
+  return "?";
+}
+
+/// Concrete per-FROM-item access path; doubles as the evaluator hook.
+struct EnrichmentPlan::PathImpl : public FromAccessPath {
+  AccessPathKind kind = AccessPathKind::kScan;
+  const FromClause* from = nullptr;
+  std::string dataset;
+  std::string ref_field;             // key/geometry field of the reference dataset
+  const Expr* probe_expr = nullptr;  // borrowed from the plan-owned body AST
+  /// Spatial probes matched from spatial_intersect(create_circle(ref.field, R),
+  /// <outer>) expand the outer geometry's MBR by R before the R-tree search.
+  double mbr_expand = 0;
+  DatasetAccessor* datasets = nullptr;
+  PlanStats* stats = nullptr;
+  size_t max_hash_build_bytes = 0;
+
+  // Per-initialization state.
+  Snapshot snapshot;
+  std::unordered_map<uint64_t, std::vector<std::pair<Value, const Value*>>> hash;
+  size_t hash_bytes = 0;
+  std::shared_ptr<IndexProbe> index;
+  std::vector<Value> scratch;  // owns index-probe results between calls
+
+  Status Build() {
+    hash.clear();
+    hash_bytes = 0;
+    snapshot.reset();
+    index.reset();
+    switch (kind) {
+      case AccessPathKind::kScan: {
+        IDEA_ASSIGN_OR_RETURN(snapshot, datasets->GetSnapshot(dataset));
+        stats->snapshot_records += snapshot->size();
+        return Status::OK();
+      }
+      case AccessPathKind::kHashBuildProbe: {
+        IDEA_ASSIGN_OR_RETURN(snapshot, datasets->GetSnapshot(dataset));
+        stats->snapshot_records += snapshot->size();
+        for (const Value& rec : *snapshot) {
+          const Value& key = rec.GetFieldOrMissing(ref_field);
+          if (key.IsUnknown()) continue;
+          hash[Value::Hash(key)].emplace_back(key, &rec);
+          hash_bytes += key.EstimateSize() + sizeof(void*) + 16;
+        }
+        stats->hash_build_bytes += hash_bytes;
+        if (hash_bytes > max_hash_build_bytes) {
+          // Paper §4.3.4 Case 2: the build side exceeds memory. In Model 2
+          // the join input is a finite batch, so the (simulated) spill still
+          // completes; we surface the condition to callers.
+          stats->would_spill = true;
+        }
+        return Status::OK();
+      }
+      case AccessPathKind::kIndexNestedLoopEq:
+      case AccessPathKind::kIndexNestedLoopSpatial: {
+        index = datasets->GetIndexProbe(dataset, ref_field);
+        if (index == nullptr) {
+          return Status::Internal("planned index on " + dataset + "." + ref_field +
+                                  " disappeared");
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unreachable access-path kind");
+  }
+
+  Status GetCandidates(Evaluator* ev, Env* env,
+                       std::vector<const Value*>* out) override {
+    switch (kind) {
+      case AccessPathKind::kScan: {
+        out->reserve(snapshot->size());
+        for (const Value& rec : *snapshot) out->push_back(&rec);
+        return Status::OK();
+      }
+      case AccessPathKind::kHashBuildProbe: {
+        IDEA_ASSIGN_OR_RETURN(Value key, ev->Eval(*probe_expr, env));
+        if (key.IsUnknown()) return Status::OK();
+        auto it = hash.find(Value::Hash(key));
+        if (it == hash.end()) return Status::OK();
+        for (const auto& [k, rec] : it->second) {
+          if (Value::Compare(k, key) == 0) out->push_back(rec);
+        }
+        return Status::OK();
+      }
+      case AccessPathKind::kIndexNestedLoopEq: {
+        IDEA_ASSIGN_OR_RETURN(Value key, ev->Eval(*probe_expr, env));
+        if (key.IsUnknown()) return Status::OK();
+        scratch.clear();
+        IDEA_RETURN_NOT_OK(index->ProbeEquals(key, &scratch));
+        ++stats->index_probes;
+        ++ev->stats().index_probes;
+        for (const Value& rec : scratch) out->push_back(&rec);
+        return Status::OK();
+      }
+      case AccessPathKind::kIndexNestedLoopSpatial: {
+        IDEA_ASSIGN_OR_RETURN(Value geom, ev->Eval(*probe_expr, env));
+        adm::Rectangle mbr;
+        if (!adm::ValueMbr(geom, &mbr)) return Status::OK();
+        if (mbr_expand > 0) {
+          mbr.lo.x -= mbr_expand;
+          mbr.lo.y -= mbr_expand;
+          mbr.hi.x += mbr_expand;
+          mbr.hi.y += mbr_expand;
+        }
+        scratch.clear();
+        IDEA_RETURN_NOT_OK(index->ProbeMbr(mbr, &scratch));
+        ++stats->index_probes;
+        ++ev->stats().index_probes;
+        for (const Value& rec : scratch) out->push_back(&rec);
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unreachable access-path kind");
+  }
+
+  std::string Describe() const override {
+    return StringPrintf("%s on %s.%s", AccessPathKindName(kind), dataset.c_str(),
+                        ref_field.c_str());
+  }
+};
+
+namespace {
+
+// True when every free variable of `e` is in `avail`.
+bool UsesOnly(const Expr& e, const std::set<std::string>& avail) {
+  std::set<std::string> free;
+  CollectFreeVars(e, avail, &free);
+  return free.empty();
+}
+
+/// A usable probe found in a block's WHERE conjuncts for a FROM item.
+struct ProbeMatch {
+  bool found = false;
+  bool spatial = false;
+  std::string field;
+  const Expr* probe = nullptr;
+  double expand = 0;
+};
+
+// Matches `fc.alias.field` or `create_circle(fc.alias.field, <numeric lit>)`.
+bool MatchRefGeometry(const Expr& e, const std::string& alias, std::string* field,
+                      double* expand) {
+  if (IsFieldOfVar(e, alias, field)) {
+    *expand = 0;
+    return true;
+  }
+  if (e.kind == ExprKind::kFunctionCall && e.fn_library.empty() &&
+      ToLowerAscii(e.fn_name) == "create_circle" && e.args.size() == 2 &&
+      IsFieldOfVar(*e.args[0], alias, field) &&
+      e.args[1]->kind == ExprKind::kLiteral && e.args[1]->literal.IsNumeric()) {
+    *expand = e.args[1]->literal.AsNumber();
+    return true;
+  }
+  return false;
+}
+
+ProbeMatch FindProbe(const SelectStatement& q, const FromClause& fc,
+                     const std::set<std::string>& avail) {
+  ProbeMatch out;
+  std::vector<const Expr*> conjuncts;
+  if (q.where != nullptr) SplitConjuncts(*q.where, &conjuncts);
+  ProbeMatch spatial;  // remembered; equality wins when both exist
+  for (const Expr* c : conjuncts) {
+    if (c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq) {
+      std::string field;
+      if (IsFieldOfVar(*c->left, fc.alias, &field) && UsesOnly(*c->right, avail)) {
+        out.found = true;
+        out.field = field;
+        out.probe = c->right.get();
+        return out;
+      }
+      if (IsFieldOfVar(*c->right, fc.alias, &field) && UsesOnly(*c->left, avail)) {
+        out.found = true;
+        out.field = field;
+        out.probe = c->left.get();
+        return out;
+      }
+    }
+    if (!spatial.found && c->kind == ExprKind::kFunctionCall && c->fn_library.empty() &&
+        ToLowerAscii(c->fn_name) == "spatial_intersect" && c->args.size() == 2) {
+      std::string field;
+      double expand = 0;
+      if (MatchRefGeometry(*c->args[0], fc.alias, &field, &expand) &&
+          UsesOnly(*c->args[1], avail)) {
+        spatial = ProbeMatch{true, true, field, c->args[1].get(), expand};
+      } else if (MatchRefGeometry(*c->args[1], fc.alias, &field, &expand) &&
+                 UsesOnly(*c->args[0], avail)) {
+        spatial = ProbeMatch{true, true, field, c->args[0].get(), expand};
+      }
+    }
+  }
+  return spatial;
+}
+
+struct PlannedPath {
+  const FromClause* from;
+  AccessPathKind kind;
+  std::string field;
+  const Expr* probe;
+  double expand;
+};
+
+/// Walks the (plan-owned, mutable) body: greedily reorders FROM items so
+/// probe-able joins run innermost-first (comma joins are commutative — the
+/// WHERE predicate is conjunctive over the cross product), then records an
+/// access-path choice for every reference-dataset FROM item.
+struct Planner {
+  DatasetAccessor* datasets;
+  const PlanConfig* config;
+  std::vector<PlannedPath> planned;
+
+  bool IsPlannableDataset(const FromClause& fc, const std::set<std::string>& bound) {
+    return fc.source == FromClause::Source::kDataset &&
+           bound.find(fc.dataset) == bound.end() && datasets->HasDataset(fc.dataset);
+  }
+
+  void VisitExpr(Expr* e, const std::set<std::string>& bound) {
+    if (e->subquery != nullptr) {
+      if (e->kind == ExprKind::kIn && e->left != nullptr) VisitExpr(e->left.get(), bound);
+      VisitBlock(e->subquery.get(), bound);
+      return;
+    }
+    auto walk = [&](ExprPtr& p) {
+      if (p != nullptr) VisitExpr(p.get(), bound);
+    };
+    walk(e->base);
+    walk(e->index);
+    walk(e->left);
+    walk(e->right);
+    for (auto& a : e->args) walk(a);
+    walk(e->case_operand);
+    for (auto& arm : e->case_arms) {
+      walk(arm.when);
+      walk(arm.then);
+    }
+    walk(e->case_else);
+    for (auto& [n, f] : e->object_fields) {
+      (void)n;
+      walk(f);
+    }
+    for (auto& el : e->elements) walk(el);
+  }
+
+  void ReorderFrom(SelectStatement* q, const std::set<std::string>& bound) {
+    if (q->from.size() < 2) return;
+    std::vector<FromClause> remaining;
+    remaining.swap(q->from);
+    std::set<std::string> avail = bound;
+    while (!remaining.empty()) {
+      // Prefer: equality probe > spatial probe > non-dataset item > first.
+      size_t pick = remaining.size();
+      int best_rank = -1;
+      for (size_t i = 0; i < remaining.size(); ++i) {
+        int rank;
+        if (!IsPlannableDataset(remaining[i], avail)) {
+          rank = 1;
+        } else {
+          ProbeMatch m = FindProbe(*q, remaining[i], avail);
+          rank = !m.found ? 0 : (m.spatial ? 2 : 3);
+        }
+        if (rank > best_rank) {
+          best_rank = rank;
+          pick = i;
+        }
+        if (rank == 3) break;  // first equality probe wins outright
+      }
+      avail.insert(remaining[pick].alias);
+      q->from.push_back(std::move(remaining[pick]));
+      remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(pick));
+    }
+  }
+
+  void VisitBlock(SelectStatement* q, std::set<std::string> bound) {
+    for (auto& let : q->lets) {
+      if (!let.pre_from) continue;
+      VisitExpr(let.expr.get(), bound);
+      bound.insert(let.name);
+    }
+    ReorderFrom(q, bound);
+
+    std::set<std::string> avail = bound;
+    for (auto& f : q->from) {
+      if (f.expr != nullptr) VisitExpr(f.expr.get(), avail);
+      if (IsPlannableDataset(f, avail) && bound.find(f.dataset) == bound.end()) {
+        PlanFromItem(*q, f, avail);
+      }
+      avail.insert(f.alias);
+    }
+    std::set<std::string> all = avail;
+    for (auto& let : q->lets) {
+      if (let.pre_from) continue;
+      VisitExpr(let.expr.get(), all);
+      all.insert(let.name);
+    }
+    if (q->where != nullptr) VisitExpr(q->where.get(), all);
+    for (auto& g : q->group_by) {
+      VisitExpr(g.expr.get(), all);
+      if (!g.alias.empty()) all.insert(g.alias);
+    }
+    for (auto& let : q->group_lets) {
+      VisitExpr(let.expr.get(), all);
+      all.insert(let.name);
+    }
+    if (q->having != nullptr) VisitExpr(q->having.get(), all);
+    for (auto& o : q->order_by) VisitExpr(o.expr.get(), all);
+    if (q->select_value != nullptr) VisitExpr(q->select_value.get(), all);
+    for (auto& p : q->projections) {
+      if (p.expr != nullptr) VisitExpr(p.expr.get(), all);
+    }
+  }
+
+  void PlanFromItem(const SelectStatement& q, const FromClause& fc,
+                    const std::set<std::string>& avail) {
+    ProbeMatch m = FindProbe(q, fc, avail);
+    AccessPathKind kind = AccessPathKind::kScan;
+    std::string field;
+    const Expr* probe = nullptr;
+    double expand = 0;
+    if (fc.hints.skip_index) {
+      kind = AccessPathKind::kScan;
+    } else if (m.found && !m.spatial) {
+      field = m.field;
+      probe = m.probe;
+      auto idx = datasets->GetIndexProbe(fc.dataset, m.field);
+      bool use_index = idx != nullptr && idx->kind() == IndexProbe::Kind::kEquality &&
+                       (config->prefer_index || fc.hints.force_index);
+      kind = use_index ? AccessPathKind::kIndexNestedLoopEq
+                       : AccessPathKind::kHashBuildProbe;
+    } else if (m.found && m.spatial) {
+      auto idx = datasets->GetIndexProbe(fc.dataset, m.field);
+      if (idx != nullptr && idx->kind() == IndexProbe::Kind::kSpatial &&
+          (config->prefer_index || fc.hints.force_index)) {
+        kind = AccessPathKind::kIndexNestedLoopSpatial;
+        field = m.field;
+        probe = m.probe;
+        expand = m.expand;
+      }
+    }
+    planned.push_back(PlannedPath{&fc, kind, field, probe, expand});
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<EnrichmentPlan>> EnrichmentPlan::Compile(
+    std::shared_ptr<const SqlppFunctionDef> def, DatasetAccessor* datasets,
+    const FunctionResolver* functions, const PlanConfig& config) {
+  if (def == nullptr || def->body == nullptr) {
+    return Status::InvalidArgument("cannot compile a null function definition");
+  }
+  if (def->params.size() != 1) {
+    return Status::NotSupported("enrichment UDFs take exactly one record argument");
+  }
+  auto plan = std::unique_ptr<EnrichmentPlan>(new EnrichmentPlan());
+  // The plan owns a private clone of the body: the join-order rewrite below
+  // must not mutate the registry's shared definition.
+  auto owned = std::make_shared<SqlppFunctionDef>();
+  owned->name = def->name;
+  owned->params = def->params;
+  owned->body = std::shared_ptr<const SelectStatement>(def->body->Clone());
+  plan->source_def_ = std::move(def);
+  plan->def_ = std::move(owned);
+  plan->datasets_ = datasets;
+  plan->functions_ = functions;
+  plan->config_ = config;
+  plan->analysis_ = AnalyzeFunctionBody(*plan->def_->body, plan->def_->params);
+
+  Planner planner{datasets, &config, {}};
+  std::set<std::string> bound(plan->def_->params.begin(), plan->def_->params.end());
+  planner.VisitBlock(const_cast<SelectStatement*>(plan->def_->body.get()), bound);
+
+  for (auto& p : planner.planned) {
+    auto path = std::make_unique<PathImpl>();
+    path->kind = p.kind;
+    path->from = p.from;
+    path->dataset = p.from->dataset;
+    path->ref_field = p.field;
+    path->probe_expr = p.probe;
+    path->mbr_expand = p.expand;
+    path->datasets = datasets;
+    path->stats = &plan->stats_;
+    path->max_hash_build_bytes = config.max_hash_build_bytes;
+    plan->path_map_[p.from] = path.get();
+    plan->choices_.push_back(AccessPathChoice{
+        p.kind, p.from->dataset, p.field, p.probe != nullptr ? p.probe->ToString() : ""});
+    plan->paths_.push_back(std::move(path));
+  }
+
+  EvalContext ctx;
+  ctx.datasets = datasets;
+  ctx.functions = functions;
+  ctx.access_paths = &plan->path_map_;
+  plan->evaluator_ = std::make_unique<Evaluator>(ctx);
+  return plan;
+}
+
+EnrichmentPlan::~EnrichmentPlan() = default;
+
+Status EnrichmentPlan::Initialize() {
+  WallTimer timer;
+  timer.Start();
+  stats_.hash_build_bytes = 0;
+  stats_.snapshot_records = 0;
+  for (auto& path : paths_) {
+    IDEA_RETURN_NOT_OK(path->Build());
+  }
+  stats_.last_init_micros = timer.ElapsedMicros();
+  stats_.total_init_micros += stats_.last_init_micros;
+  ++stats_.initializations;
+  initialized_ = true;
+  return Status::OK();
+}
+
+Result<adm::Value> EnrichmentPlan::EnrichOne(const adm::Value& record) {
+  if (!initialized_) {
+    return Status::Internal("EnrichmentPlan::Initialize() must run before EnrichOne");
+  }
+  Env root;
+  IDEA_ASSIGN_OR_RETURN(Value result,
+                        evaluator_->CallSqlppFunction(*def_, {record}, &root));
+  ++stats_.records_enriched;
+  // A SQL++ function returns the collection its SELECT produces; an
+  // enrichment body emits one row per input record, which we unwrap.
+  if (result.IsArray()) {
+    if (result.AsArray().size() == 1) return result.AsArray()[0];
+    if (result.AsArray().empty()) return Value::MakeNull();
+  }
+  return result;
+}
+
+Status EnrichmentPlan::EnrichBatch(const std::vector<adm::Value>& batch,
+                                   adm::Array* out) {
+  out->reserve(out->size() + batch.size());
+  for (const auto& rec : batch) {
+    IDEA_ASSIGN_OR_RETURN(Value v, EnrichOne(rec));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<EnrichmentPlan> EnrichmentPlan::Fork() const {
+  auto r = Compile(source_def_, datasets_, functions_, config_);
+  return r.ok() ? std::move(r).value() : nullptr;
+}
+
+std::string EnrichmentPlan::Explain() const {
+  std::string out = "EnrichmentPlan for " + def_->name + " (";
+  out += analysis_.stateful ? "stateful" : "stateless";
+  out += ")\n";
+  for (const auto& c : choices_) {
+    out += StringPrintf("  %-28s %s.%s", AccessPathKindName(c.kind), c.dataset.c_str(),
+                        c.ref_field.c_str());
+    if (!c.probe.empty()) out += "  probe: " + c.probe;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace idea::sqlpp

@@ -1,0 +1,718 @@
+#include "sqlpp/evaluator.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "adm/temporal.h"
+#include "common/string_util.h"
+#include "sqlpp/functions.h"
+
+namespace idea::sqlpp {
+
+using adm::Value;
+
+namespace {
+
+// Sentinel used to unwind tuple production once LIMIT rows are collected.
+const char kLimitReached[] = "__limit_reached__";
+
+bool IsLimitSentinel(const Status& s) {
+  return s.code() == StatusCode::kAborted && s.message() == kLimitReached;
+}
+
+// Strict SQL++ WHERE semantics: only boolean TRUE passes.
+bool Truthy(const Value& v) { return v.IsBool() && v.AsBool(); }
+
+std::string DerivedProjectionName(const Expr& e, size_t index) {
+  if (e.kind == ExprKind::kFieldAccess) return e.field;
+  if (e.kind == ExprKind::kVarRef) return e.var;
+  return "$" + std::to_string(index + 1);
+}
+
+}  // namespace
+
+bool ContainsAggregate(const Expr& e) {
+  if (e.kind == ExprKind::kSubquery || e.kind == ExprKind::kExists) return false;
+  if (e.kind == ExprKind::kFunctionCall && e.fn_library.empty() &&
+      FunctionRegistry::IsAggregate(ToLowerAscii(e.fn_name))) {
+    return true;
+  }
+  auto check = [](const ExprPtr& p) { return p != nullptr && ContainsAggregate(*p); };
+  if (check(e.base) || check(e.index) || check(e.left) || check(e.right)) return true;
+  for (const auto& a : e.args) {
+    if (check(a)) return true;
+  }
+  if (check(e.case_operand) || check(e.case_else)) return true;
+  for (const auto& arm : e.case_arms) {
+    if (check(arm.when) || check(arm.then)) return true;
+  }
+  for (const auto& [n, f] : e.object_fields) {
+    (void)n;
+    if (check(f)) return true;
+  }
+  for (const auto& el : e.elements) {
+    if (check(el)) return true;
+  }
+  return false;
+}
+
+Result<Value> Evaluator::Eval(const Expr& e, Env* env) {
+  // Inside a grouped context, an expression structurally equal to a grouping
+  // key evaluates to the group's key value (SQL++ key visibility).
+  if (!group_stack_.empty() && group_stack_.back().keys != nullptr) {
+    const GroupContext& g = group_stack_.back();
+    for (size_t i = 0; i < g.keys->size(); ++i) {
+      if (Expr::Equals(e, *(*g.keys)[i].expr)) return (*g.key_values)[i];
+    }
+  }
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kVarRef: {
+      const Value* v = env->Lookup(e.var);
+      if (v == nullptr) {
+        return Status::InvalidArgument("unbound variable '" + e.var + "'");
+      }
+      return *v;
+    }
+    case ExprKind::kFieldAccess: {
+      IDEA_ASSIGN_OR_RETURN(Value base, Eval(*e.base, env));
+      if (!base.IsObject()) return Value::MakeMissing();
+      return base.GetFieldOrMissing(e.field);
+    }
+    case ExprKind::kIndexAccess: {
+      IDEA_ASSIGN_OR_RETURN(Value base, Eval(*e.base, env));
+      IDEA_ASSIGN_OR_RETURN(Value idx, Eval(*e.index, env));
+      if (!base.IsArray() || !idx.IsInt()) return Value::MakeMissing();
+      int64_t i = idx.AsInt();
+      if (i < 0 || static_cast<size_t>(i) >= base.AsArray().size()) {
+        return Value::MakeMissing();
+      }
+      return base.AsArray()[static_cast<size_t>(i)];
+    }
+    case ExprKind::kUnary: {
+      IDEA_ASSIGN_OR_RETURN(Value v, Eval(*e.left, env));
+      if (e.unary_op == UnaryOp::kNot) {
+        if (v.IsUnknown()) return Value::MakeNull();
+        if (!v.IsBool()) return Status::TypeMismatch("NOT over non-boolean");
+        return Value::MakeBool(!v.AsBool());
+      }
+      if (v.IsUnknown()) return Value::MakeNull();
+      if (v.IsInt()) return Value::MakeInt(-v.AsInt());
+      if (v.IsDouble()) return Value::MakeDouble(-v.AsDouble());
+      return Status::TypeMismatch("negation over non-number");
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(e, env);
+    case ExprKind::kFunctionCall:
+      return EvalFunctionCall(e, env);
+    case ExprKind::kCase:
+      return EvalCase(e, env);
+    case ExprKind::kSubquery: {
+      IDEA_ASSIGN_OR_RETURN(adm::Array rows, EvalQuery(*e.subquery, env));
+      return Value::MakeArray(std::move(rows));
+    }
+    case ExprKind::kExists: {
+      IDEA_ASSIGN_OR_RETURN(adm::Array rows, EvalQuery(*e.subquery, env));
+      return Value::MakeBool(!rows.empty());
+    }
+    case ExprKind::kIn:
+      return EvalIn(e, env);
+    case ExprKind::kObjectConstructor: {
+      adm::Fields fields;
+      for (const auto& [name, fe] : e.object_fields) {
+        IDEA_ASSIGN_OR_RETURN(Value v, Eval(*fe, env));
+        if (v.IsMissing()) continue;
+        fields.emplace_back(name, std::move(v));
+      }
+      return Value::MakeObject(std::move(fields));
+    }
+    case ExprKind::kArrayConstructor: {
+      adm::Array elems;
+      elems.reserve(e.elements.size());
+      for (const auto& el : e.elements) {
+        IDEA_ASSIGN_OR_RETURN(Value v, Eval(*el, env));
+        elems.push_back(std::move(v));
+      }
+      return Value::MakeArray(std::move(elems));
+    }
+    case ExprKind::kStar:
+      return Status::InvalidArgument("'*' is only valid inside count(*)");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Value> Evaluator::EvalBinary(const Expr& e, Env* env) {
+  const BinaryOp op = e.binary_op;
+  // Three-valued AND/OR with short-circuiting.
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    IDEA_ASSIGN_OR_RETURN(Value l, Eval(*e.left, env));
+    bool is_and = op == BinaryOp::kAnd;
+    if (l.IsBool() && l.AsBool() != is_and) return l;  // false AND / true OR
+    IDEA_ASSIGN_OR_RETURN(Value r, Eval(*e.right, env));
+    if (r.IsBool() && r.AsBool() != is_and) return r;
+    if (l.IsUnknown() || r.IsUnknown()) return Value::MakeNull();
+    if (!l.IsBool() || !r.IsBool()) {
+      return Status::TypeMismatch(std::string(BinaryOpName(op)) + " over non-booleans");
+    }
+    return Value::MakeBool(is_and ? (l.AsBool() && r.AsBool())
+                                  : (l.AsBool() || r.AsBool()));
+  }
+  IDEA_ASSIGN_OR_RETURN(Value l, Eval(*e.left, env));
+  IDEA_ASSIGN_OR_RETURN(Value r, Eval(*e.right, env));
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNeq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: {
+      if (l.IsUnknown() || r.IsUnknown()) return Value::MakeNull();
+      int c = Value::Compare(l, r);
+      switch (op) {
+        case BinaryOp::kEq:
+          return Value::MakeBool(c == 0);
+        case BinaryOp::kNeq:
+          return Value::MakeBool(c != 0);
+        case BinaryOp::kLt:
+          return Value::MakeBool(c < 0);
+        case BinaryOp::kLe:
+          return Value::MakeBool(c <= 0);
+        case BinaryOp::kGt:
+          return Value::MakeBool(c > 0);
+        default:
+          return Value::MakeBool(c >= 0);
+      }
+    }
+    case BinaryOp::kAdd: {
+      if (l.IsUnknown() || r.IsUnknown()) return Value::MakeNull();
+      if (l.IsInt() && r.IsInt()) return Value::MakeInt(l.AsInt() + r.AsInt());
+      if (l.IsNumeric() && r.IsNumeric()) {
+        return Value::MakeDouble(l.AsNumber() + r.AsNumber());
+      }
+      if (l.IsDateTime() && r.IsDuration()) {
+        return Value::MakeDateTime(adm::AddDuration(l.AsDateTime(), r.AsDuration()));
+      }
+      if (l.IsDuration() && r.IsDateTime()) {
+        return Value::MakeDateTime(adm::AddDuration(r.AsDateTime(), l.AsDuration()));
+      }
+      if (l.IsDuration() && r.IsDuration()) {
+        return Value::MakeDuration(adm::Duration{l.AsDuration().months + r.AsDuration().months,
+                                                 l.AsDuration().millis + r.AsDuration().millis});
+      }
+      if (l.IsString() && r.IsString()) {
+        return Value::MakeString(l.AsString() + r.AsString());
+      }
+      return Status::TypeMismatch("invalid operands to '+'");
+    }
+    case BinaryOp::kSub: {
+      if (l.IsUnknown() || r.IsUnknown()) return Value::MakeNull();
+      if (l.IsInt() && r.IsInt()) return Value::MakeInt(l.AsInt() - r.AsInt());
+      if (l.IsNumeric() && r.IsNumeric()) {
+        return Value::MakeDouble(l.AsNumber() - r.AsNumber());
+      }
+      if (l.IsDateTime() && r.IsDuration()) {
+        adm::Duration neg{-r.AsDuration().months, -r.AsDuration().millis};
+        return Value::MakeDateTime(adm::AddDuration(l.AsDateTime(), neg));
+      }
+      if (l.IsDateTime() && r.IsDateTime()) {
+        return Value::MakeDuration(
+            adm::Duration{0, l.AsDateTime().epoch_ms - r.AsDateTime().epoch_ms});
+      }
+      return Status::TypeMismatch("invalid operands to '-'");
+    }
+    case BinaryOp::kMul: {
+      if (l.IsUnknown() || r.IsUnknown()) return Value::MakeNull();
+      if (l.IsInt() && r.IsInt()) return Value::MakeInt(l.AsInt() * r.AsInt());
+      if (l.IsNumeric() && r.IsNumeric()) {
+        return Value::MakeDouble(l.AsNumber() * r.AsNumber());
+      }
+      return Status::TypeMismatch("invalid operands to '*'");
+    }
+    case BinaryOp::kDiv: {
+      if (l.IsUnknown() || r.IsUnknown()) return Value::MakeNull();
+      if (!l.IsNumeric() || !r.IsNumeric()) {
+        return Status::TypeMismatch("invalid operands to '/'");
+      }
+      if (r.AsNumber() == 0) return Value::MakeNull();
+      return Value::MakeDouble(l.AsNumber() / r.AsNumber());
+    }
+    case BinaryOp::kConcat: {
+      if (l.IsUnknown() || r.IsUnknown()) return Value::MakeNull();
+      if (!l.IsString() || !r.IsString()) {
+        return Status::TypeMismatch("'||' expects strings");
+      }
+      return Value::MakeString(l.AsString() + r.AsString());
+    }
+    default:
+      return Status::Internal("unhandled binary op");
+  }
+}
+
+Result<Value> Evaluator::EvalCase(const Expr& e, Env* env) {
+  if (e.case_operand != nullptr) {
+    IDEA_ASSIGN_OR_RETURN(Value operand, Eval(*e.case_operand, env));
+    for (const auto& arm : e.case_arms) {
+      IDEA_ASSIGN_OR_RETURN(Value when, Eval(*arm.when, env));
+      if (!operand.IsUnknown() && !when.IsUnknown() &&
+          Value::Compare(operand, when) == 0) {
+        return Eval(*arm.then, env);
+      }
+    }
+  } else {
+    for (const auto& arm : e.case_arms) {
+      IDEA_ASSIGN_OR_RETURN(Value when, Eval(*arm.when, env));
+      if (Truthy(when)) return Eval(*arm.then, env);
+    }
+  }
+  if (e.case_else != nullptr) return Eval(*e.case_else, env);
+  return Value::MakeNull();
+}
+
+Result<Value> Evaluator::EvalIn(const Expr& e, Env* env) {
+  IDEA_ASSIGN_OR_RETURN(Value left, Eval(*e.left, env));
+  if (left.IsUnknown()) return Value::MakeNull();
+  Value coll;
+  if (e.subquery != nullptr) {
+    IDEA_ASSIGN_OR_RETURN(adm::Array rows, EvalQuery(*e.subquery, env));
+    coll = Value::MakeArray(std::move(rows));
+  } else {
+    IDEA_ASSIGN_OR_RETURN(coll, Eval(*e.right, env));
+  }
+  if (coll.IsUnknown()) return Value::MakeNull();
+  if (!coll.IsArray()) return Status::TypeMismatch("IN expects a collection");
+  for (const Value& v : coll.AsArray()) {
+    if (!v.IsUnknown() && Value::Compare(left, v) == 0) return Value::MakeBool(true);
+  }
+  return Value::MakeBool(false);
+}
+
+Result<Value> Evaluator::EvalAggregateCall(const Expr& e, Env* env) {
+  std::string name = ToLowerAscii(e.fn_name);
+  if (group_stack_.empty() || group_stack_.back().members == nullptr) {
+    // Outside a grouped context an aggregate applies to an array argument.
+    if (e.args.size() == 1 && e.args[0]->kind != ExprKind::kStar) {
+      IDEA_ASSIGN_OR_RETURN(Value arg, Eval(*e.args[0], env));
+      if (arg.IsArray()) return ApplyAggregate(name, arg.AsArray());
+      if (arg.IsUnknown()) return Value::MakeNull();
+    }
+    return Status::InvalidArgument("aggregate '" + name +
+                                   "' used outside a grouped context");
+  }
+  GroupContext group = group_stack_.back();
+  if (e.args.size() != 1) {
+    return Status::InvalidArgument("aggregate '" + name + "' expects one argument");
+  }
+  // count(*): count members directly.
+  if (e.args[0]->kind == ExprKind::kStar) {
+    if (name != "count") {
+      return Status::InvalidArgument("'*' is only valid inside count(*)");
+    }
+    return Value::MakeInt(static_cast<int64_t>(group.members->size()));
+  }
+  // Evaluate the argument once per member, with group semantics disabled so
+  // member fields resolve normally.
+  group_stack_.pop_back();
+  std::vector<Value> items;
+  items.reserve(group.members->size());
+  Status st = Status::OK();
+  for (const MaterializedTuple& tuple : *group.members) {
+    Env member_env(group.base_env);
+    for (const auto& [n, v] : tuple.bindings) member_env.Bind(n, &v);
+    auto r = Eval(*e.args[0], &member_env);
+    if (!r.ok()) {
+      st = r.status();
+      break;
+    }
+    items.push_back(std::move(r).value());
+  }
+  group_stack_.push_back(group);
+  if (!st.ok()) return st;
+  return ApplyAggregate(name, items);
+}
+
+Result<Value> Evaluator::EvalFunctionCall(const Expr& e, Env* env) {
+  if (e.fn_library.empty() && FunctionRegistry::IsAggregate(ToLowerAscii(e.fn_name))) {
+    return EvalAggregateCall(e, env);
+  }
+  std::vector<Value> args;
+  args.reserve(e.args.size());
+  for (const auto& a : e.args) {
+    IDEA_ASSIGN_OR_RETURN(Value v, Eval(*a, env));
+    args.push_back(std::move(v));
+  }
+  if (e.fn_library.empty()) {
+    if (BuiltinFn fn = FunctionRegistry::Global().Find(ToLowerAscii(e.fn_name))) {
+      return fn(args);
+    }
+    if (ctx_.functions != nullptr) {
+      if (const SqlppFunctionDef* def = ctx_.functions->FindSqlppFunction(e.fn_name)) {
+        return CallSqlppFunction(*def, args, env);
+      }
+      if (NativeFunctionHandle* native = ctx_.functions->FindNativeFunction(e.fn_name)) {
+        ++stats_.udf_calls;
+        return native->Evaluate(args);
+      }
+    }
+    return Status::NotFound("unknown function '" + e.fn_name + "'");
+  }
+  if (ctx_.functions != nullptr) {
+    std::string qualified = e.fn_library + "#" + e.fn_name;
+    if (NativeFunctionHandle* native = ctx_.functions->FindNativeFunction(qualified)) {
+      ++stats_.udf_calls;
+      return native->Evaluate(args);
+    }
+  }
+  return Status::NotFound("unknown library function '" + e.fn_library + "#" + e.fn_name +
+                          "'");
+}
+
+Result<Value> Evaluator::CallSqlppFunction(const SqlppFunctionDef& def,
+                                           const std::vector<Value>& args, Env* env) {
+  (void)env;  // SQL++ functions are closed over their parameters only.
+  if (args.size() != def.params.size()) {
+    return Status::InvalidArgument(StringPrintf("function %s expects %zu argument(s), got %zu",
+                                                def.name.c_str(), def.params.size(),
+                                                args.size()));
+  }
+  if (++depth_ > ctx_.max_recursion_depth) {
+    --depth_;
+    return Status::ResourceExhausted("maximum UDF recursion depth exceeded");
+  }
+  ++stats_.udf_calls;
+  Env fn_env;
+  for (size_t i = 0; i < args.size(); ++i) fn_env.BindOwned(def.params[i], args[i]);
+  // A grouped caller context must not leak into the function body.
+  std::vector<GroupContext> saved;
+  saved.swap(group_stack_);
+  auto rows = EvalQuery(*def.body, &fn_env);
+  saved.swap(group_stack_);
+  --depth_;
+  if (!rows.ok()) return rows.status();
+  return Value::MakeArray(std::move(rows).value());
+}
+
+std::vector<std::string> Evaluator::TupleVarNames(const SelectStatement& q) {
+  std::vector<std::string> names;
+  for (const auto& f : q.from) names.push_back(f.alias);
+  for (const auto& l : q.lets) {
+    if (!l.pre_from) names.push_back(l.name);
+  }
+  return names;
+}
+
+Status Evaluator::FromItemLoop(const SelectStatement& q, size_t item, Env* env,
+                               const std::function<Status(Env*)>& emit) {
+  if (item == q.from.size()) {
+    // All FROM variables bound: post-FROM LETs, then WHERE.
+    Env tuple_env(env);
+    for (const auto& let : q.lets) {
+      if (let.pre_from) continue;
+      IDEA_ASSIGN_OR_RETURN(Value v, Eval(*let.expr, &tuple_env));
+      tuple_env.BindOwned(let.name, std::move(v));
+    }
+    if (q.where != nullptr) {
+      IDEA_ASSIGN_OR_RETURN(Value pass, Eval(*q.where, &tuple_env));
+      if (!Truthy(pass)) return Status::OK();
+    }
+    return emit(&tuple_env);
+  }
+  const FromClause& fc = q.from[item];
+  // Planner-installed access path?
+  if (ctx_.access_paths != nullptr) {
+    auto it = ctx_.access_paths->find(&fc);
+    if (it != ctx_.access_paths->end()) {
+      std::vector<const Value*> candidates;
+      IDEA_RETURN_NOT_OK(it->second->GetCandidates(this, env, &candidates));
+      stats_.access_path_candidates += candidates.size();
+      for (const Value* cand : candidates) {
+        Env child(env);
+        child.Bind(fc.alias, cand);
+        IDEA_RETURN_NOT_OK(FromItemLoop(q, item + 1, &child, emit));
+      }
+      return Status::OK();
+    }
+  }
+  if (fc.source == FromClause::Source::kFeed) {
+    return Status::NotSupported(
+        "FEED is not an executable datasource: a continuous feed cannot be evaluated "
+        "as a finite dataset (Model 3, paper §4.3.4); attach the UDF to a feed instead");
+  }
+  if (fc.source == FromClause::Source::kExpression) {
+    Env child(env);
+    IDEA_ASSIGN_OR_RETURN(Value coll, Eval(*fc.expr, &child));
+    if (coll.IsUnknown()) return Status::OK();
+    if (!coll.IsArray()) {
+      return Status::TypeMismatch("FROM expression for '" + fc.alias +
+                                  "' is not a collection");
+    }
+    const Value* owned = child.BindOwned("$from:" + fc.alias, std::move(coll));
+    for (const Value& rec : owned->AsArray()) {
+      Env iter(&child);
+      iter.Bind(fc.alias, &rec);
+      ++stats_.tuples_scanned;
+      IDEA_RETURN_NOT_OK(FromItemLoop(q, item + 1, &iter, emit));
+    }
+    return Status::OK();
+  }
+  // Dataset (or a variable bound to a collection: `FROM TweetsBatch tweet`).
+  if (const Value* bound = env->Lookup(fc.dataset)) {
+    if (!bound->IsArray()) {
+      return Status::TypeMismatch("FROM variable '" + fc.dataset +
+                                  "' is not a collection");
+    }
+    for (const Value& rec : bound->AsArray()) {
+      Env iter(env);
+      iter.Bind(fc.alias, &rec);
+      ++stats_.tuples_scanned;
+      IDEA_RETURN_NOT_OK(FromItemLoop(q, item + 1, &iter, emit));
+    }
+    return Status::OK();
+  }
+  if (ctx_.datasets == nullptr || !ctx_.datasets->HasDataset(fc.dataset)) {
+    return Status::NotFound("unknown dataset or collection '" + fc.dataset + "'");
+  }
+  IDEA_ASSIGN_OR_RETURN(Snapshot snap, ctx_.datasets->GetSnapshot(fc.dataset));
+  for (const Value& rec : *snap) {
+    Env iter(env);
+    iter.Bind(fc.alias, &rec);
+    ++stats_.tuples_scanned;
+    IDEA_RETURN_NOT_OK(FromItemLoop(q, item + 1, &iter, emit));
+  }
+  return Status::OK();
+}
+
+Status Evaluator::ProduceTuples(const SelectStatement& q, Env* env,
+                                const std::function<Status(Env*)>& emit) {
+  if (q.from.empty()) {
+    Env tuple_env(env);
+    for (const auto& let : q.lets) {
+      if (let.pre_from) continue;
+      IDEA_ASSIGN_OR_RETURN(Value v, Eval(*let.expr, &tuple_env));
+      tuple_env.BindOwned(let.name, std::move(v));
+    }
+    if (q.where != nullptr) {
+      IDEA_ASSIGN_OR_RETURN(Value pass, Eval(*q.where, &tuple_env));
+      if (!Truthy(pass)) return Status::OK();
+    }
+    return emit(&tuple_env);
+  }
+  return FromItemLoop(q, 0, env, emit);
+}
+
+Status Evaluator::EvalSelectOutput(const SelectStatement& q, Env* env, adm::Array* out) {
+  if (q.select_value != nullptr) {
+    IDEA_ASSIGN_OR_RETURN(Value v, Eval(*q.select_value, env));
+    out->push_back(std::move(v));
+    return Status::OK();
+  }
+  adm::Fields fields;
+  for (size_t i = 0; i < q.projections.size(); ++i) {
+    const Projection& p = q.projections[i];
+    if (p.star && p.expr == nullptr) {
+      // Bare `SELECT *`: one field per FROM variable; a single FROM variable
+      // spreads its object directly.
+      if (q.from.size() == 1) {
+        const Value* v = env->Lookup(q.from[0].alias);
+        if (v != nullptr && v->IsObject()) {
+          for (const auto& [n, fv] : v->AsObject()) fields.emplace_back(n, fv);
+          continue;
+        }
+      }
+      for (const auto& f : q.from) {
+        const Value* v = env->Lookup(f.alias);
+        if (v != nullptr) fields.emplace_back(f.alias, *v);
+      }
+      continue;
+    }
+    IDEA_ASSIGN_OR_RETURN(Value v, Eval(*p.expr, env));
+    if (p.star) {
+      if (v.IsUnknown()) continue;
+      if (!v.IsObject()) {
+        return Status::TypeMismatch("'.*' applied to a non-object value");
+      }
+      for (const auto& [n, fv] : v.AsObject()) fields.emplace_back(n, fv);
+      continue;
+    }
+    if (v.IsMissing()) continue;  // MISSING fields are omitted from output
+    std::string name = p.alias.empty() ? DerivedProjectionName(*p.expr, i) : p.alias;
+    fields.emplace_back(std::move(name), std::move(v));
+  }
+  out->push_back(Value::MakeObject(std::move(fields)));
+  return Status::OK();
+}
+
+Result<adm::Array> Evaluator::EvalQuery(const SelectStatement& q, Env* env) {
+  if (++depth_ > 4 * ctx_.max_recursion_depth) {
+    --depth_;
+    return Status::ResourceExhausted("maximum query nesting depth exceeded");
+  }
+  struct DepthGuard {
+    int* d;
+    ~DepthGuard() { --*d; }
+  } guard{&depth_};
+
+  Env block_env(env);
+  for (const auto& let : q.lets) {
+    if (!let.pre_from) continue;
+    IDEA_ASSIGN_OR_RETURN(Value v, Eval(*let.expr, &block_env));
+    block_env.BindOwned(let.name, std::move(v));
+  }
+
+  bool grouped = !q.group_by.empty();
+  if (!grouped) {
+    bool has_agg = (q.select_value != nullptr && ContainsAggregate(*q.select_value)) ||
+                   (q.having != nullptr && ContainsAggregate(*q.having));
+    for (const auto& p : q.projections) {
+      if (p.expr != nullptr && ContainsAggregate(*p.expr)) has_agg = true;
+    }
+    for (const auto& o : q.order_by) {
+      if (ContainsAggregate(*o.expr)) has_agg = true;
+    }
+    grouped = has_agg;  // implicit single-group aggregation
+  }
+
+  adm::Array out;
+
+  if (!grouped && q.order_by.empty()) {
+    Status st = ProduceTuples(q, &block_env, [&](Env* tuple_env) -> Status {
+      IDEA_RETURN_NOT_OK(EvalSelectOutput(q, tuple_env, &out));
+      if (q.limit >= 0 && out.size() >= static_cast<size_t>(q.limit)) {
+        return Status::Aborted(kLimitReached);
+      }
+      return Status::OK();
+    });
+    if (!st.ok() && !IsLimitSentinel(st)) return st;
+    return out;
+  }
+
+  if (!grouped) {
+    // ORDER BY (and optional LIMIT) without grouping: evaluate sort keys in
+    // the tuple scope, select output per tuple, sort, cut.
+    struct Row {
+      std::vector<Value> keys;
+      Value value;
+    };
+    std::vector<Row> rows;
+    IDEA_RETURN_NOT_OK(ProduceTuples(q, &block_env, [&](Env* tuple_env) -> Status {
+      Row row;
+      for (const auto& o : q.order_by) {
+        IDEA_ASSIGN_OR_RETURN(Value k, Eval(*o.expr, tuple_env));
+        row.keys.push_back(std::move(k));
+      }
+      adm::Array one;
+      IDEA_RETURN_NOT_OK(EvalSelectOutput(q, tuple_env, &one));
+      row.value = std::move(one[0]);
+      rows.push_back(std::move(row));
+      return Status::OK();
+    }));
+    std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+      for (size_t i = 0; i < q.order_by.size(); ++i) {
+        int c = Value::Compare(a.keys[i], b.keys[i]);
+        if (q.order_by[i].descending) c = -c;
+        if (c != 0) return c < 0;
+      }
+      return false;
+    });
+    size_t n = rows.size();
+    if (q.limit >= 0) n = std::min(n, static_cast<size_t>(q.limit));
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) out.push_back(std::move(rows[i].value));
+    return out;
+  }
+
+  // Grouped evaluation (explicit GROUP BY or implicit aggregation).
+  const std::vector<std::string> var_names = TupleVarNames(q);
+  struct Group {
+    std::vector<Value> key_values;
+    std::vector<MaterializedTuple> members;
+  };
+  std::vector<Group> groups;
+  std::map<std::vector<Value>, size_t> group_index;  // Value::operator< total order
+
+  IDEA_RETURN_NOT_OK(ProduceTuples(q, &block_env, [&](Env* tuple_env) -> Status {
+    std::vector<Value> key;
+    key.reserve(q.group_by.size());
+    for (const auto& g : q.group_by) {
+      IDEA_ASSIGN_OR_RETURN(Value k, Eval(*g.expr, tuple_env));
+      key.push_back(std::move(k));
+    }
+    auto [it, inserted] = group_index.try_emplace(key, groups.size());
+    if (inserted) {
+      groups.push_back(Group{std::move(key), {}});
+    }
+    MaterializedTuple tuple;
+    for (const auto& name : var_names) {
+      const Value* v = tuple_env->Lookup(name);
+      if (v != nullptr) tuple.bindings.emplace_back(name, *v);
+    }
+    groups[it->second].members.push_back(std::move(tuple));
+    return Status::OK();
+  }));
+
+  // Implicit aggregation over an empty input still produces one (empty) group.
+  if (groups.empty() && q.group_by.empty()) {
+    groups.push_back(Group{{}, {}});
+  }
+
+  struct GroupRow {
+    std::vector<Value> keys;
+    Value value;
+  };
+  std::vector<GroupRow> rows;
+  for (const Group& g : groups) {
+    Env group_env(&block_env);
+    for (size_t i = 0; i < q.group_by.size(); ++i) {
+      if (!q.group_by[i].alias.empty()) {
+        group_env.Bind(q.group_by[i].alias, &g.key_values[i]);
+      }
+    }
+    GroupContext gctx;
+    gctx.keys = &q.group_by;
+    gctx.key_values = &g.key_values;
+    gctx.members = &g.members;
+    gctx.base_env = &block_env;
+    group_stack_.push_back(gctx);
+    struct PopGuard {
+      std::vector<GroupContext>* s;
+      ~PopGuard() { s->pop_back(); }
+    } pop_guard{&group_stack_};
+
+    for (const auto& let : q.group_lets) {
+      IDEA_ASSIGN_OR_RETURN(Value v, Eval(*let.expr, &group_env));
+      group_env.BindOwned(let.name, std::move(v));
+    }
+    if (q.having != nullptr) {
+      IDEA_ASSIGN_OR_RETURN(Value pass, Eval(*q.having, &group_env));
+      if (!Truthy(pass)) continue;
+    }
+    GroupRow row;
+    for (const auto& o : q.order_by) {
+      IDEA_ASSIGN_OR_RETURN(Value k, Eval(*o.expr, &group_env));
+      row.keys.push_back(std::move(k));
+    }
+    adm::Array one;
+    IDEA_RETURN_NOT_OK(EvalSelectOutput(q, &group_env, &one));
+    row.value = std::move(one[0]);
+    rows.push_back(std::move(row));
+  }
+
+  if (!q.order_by.empty()) {
+    std::stable_sort(rows.begin(), rows.end(), [&](const GroupRow& a, const GroupRow& b) {
+      for (size_t i = 0; i < q.order_by.size(); ++i) {
+        int c = Value::Compare(a.keys[i], b.keys[i]);
+        if (q.order_by[i].descending) c = -c;
+        if (c != 0) return c < 0;
+      }
+      return false;
+    });
+  }
+  size_t n = rows.size();
+  if (q.limit >= 0) n = std::min(n, static_cast<size_t>(q.limit));
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(std::move(rows[i].value));
+  return out;
+}
+
+}  // namespace idea::sqlpp

@@ -1,0 +1,213 @@
+// Tree-walking evaluator for the SQL++ subset, with pluggable dataset access
+// paths. This is the engine behind UDF evaluation in computing jobs, INSERT
+// ... SELECT statements, and ad-hoc analytical queries.
+//
+// Correlated reference-data subqueries inside enrichment UDFs are the hot
+// path; the EnrichmentPlan (sqlpp/enrichment_plan.h) analyzes them and
+// registers per-FROM-clause access paths (hash build+probe, B-tree / R-tree
+// index nested loop) that this evaluator consults, falling back to snapshot
+// scans. The WHERE predicate is always re-evaluated residually, so access
+// paths only need to produce a candidate superset.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+#include "sqlpp/ast.h"
+
+namespace idea::sqlpp {
+
+/// Immutable snapshot of a dataset's records.
+using Snapshot = std::shared_ptr<const std::vector<adm::Value>>;
+
+/// Probe interface over a secondary index (implemented by storage).
+class IndexProbe {
+ public:
+  enum class Kind : uint8_t { kEquality, kSpatial };
+  virtual ~IndexProbe() = default;
+  virtual Kind kind() const = 0;
+  /// Equality probe: appends records whose indexed field equals `key`.
+  virtual Status ProbeEquals(const adm::Value& key, std::vector<adm::Value>* out) const {
+    (void)key, (void)out;
+    return Status::NotSupported("equality probe");
+  }
+  /// Spatial probe: appends records whose indexed geometry MBR-intersects
+  /// `query` (callers re-check the exact predicate).
+  virtual Status ProbeMbr(const adm::Rectangle& query,
+                          std::vector<adm::Value>* out) const {
+    (void)query, (void)out;
+    return Status::NotSupported("spatial probe");
+  }
+};
+
+/// Resolves dataset names to snapshots and (optionally) live index probes.
+/// Implementations decide snapshot caching policy: the enrichment pipeline
+/// refreshes snapshots once per computing job, which is exactly the paper's
+/// batch-consistency model.
+class DatasetAccessor {
+ public:
+  virtual ~DatasetAccessor() = default;
+  virtual bool HasDataset(const std::string& dataset) const = 0;
+  virtual Result<Snapshot> GetSnapshot(const std::string& dataset) = 0;
+  /// Live (non-snapshot) index probe; nullptr when no index exists on the
+  /// field. Probing a live index observes concurrent updates mid-evaluation —
+  /// the behaviour the paper measures for index nested-loop enrichment.
+  virtual std::shared_ptr<IndexProbe> GetIndexProbe(const std::string& dataset,
+                                                    const std::string& field) {
+    (void)dataset, (void)field;
+    return nullptr;
+  }
+};
+
+/// An instantiated native ("Java") UDF ready to evaluate.
+class NativeFunctionHandle {
+ public:
+  virtual ~NativeFunctionHandle() = default;
+  virtual Result<adm::Value> Evaluate(const std::vector<adm::Value>& args) = 0;
+};
+
+/// A declared SQL++ function.
+struct SqlppFunctionDef {
+  std::string name;
+  std::vector<std::string> params;
+  std::shared_ptr<const SelectStatement> body;
+};
+
+/// Resolves user-defined functions by name.
+class FunctionResolver {
+ public:
+  virtual ~FunctionResolver() = default;
+  virtual const SqlppFunctionDef* FindSqlppFunction(const std::string& name) const = 0;
+  /// `qualified` is "lib#name" for library functions or a bare name.
+  virtual NativeFunctionHandle* FindNativeFunction(const std::string& qualified) const = 0;
+};
+
+class Evaluator;
+class Env;
+
+/// Candidate producer for one FROM clause, installed by the planner. The
+/// returned pointers stay valid until the next GetCandidates call on the same
+/// access path (single-threaded use per Evaluator).
+class FromAccessPath {
+ public:
+  virtual ~FromAccessPath() = default;
+  virtual Status GetCandidates(Evaluator* ev, Env* env,
+                               std::vector<const adm::Value*>* out) = 0;
+  virtual std::string Describe() const = 0;
+};
+
+using AccessPathMap = std::unordered_map<const FromClause*, FromAccessPath*>;
+
+/// Lexically scoped variable bindings. Bindings are borrowed pointers;
+/// BindOwned parks a temporary in the scope's arena.
+class Env {
+ public:
+  explicit Env(const Env* parent = nullptr) : parent_(parent) {}
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  void Bind(const std::string& name, const adm::Value* v) {
+    bindings_.emplace_back(name, v);
+  }
+  const adm::Value* BindOwned(const std::string& name, adm::Value v) {
+    arena_.push_back(std::move(v));
+    const adm::Value* p = &arena_.back();
+    bindings_.emplace_back(name, p);
+    return p;
+  }
+  /// Innermost binding wins; nullptr when unbound.
+  const adm::Value* Lookup(const std::string& name) const {
+    for (auto it = bindings_.rbegin(); it != bindings_.rend(); ++it) {
+      if (it->first == name) return it->second;
+    }
+    return parent_ != nullptr ? parent_->Lookup(name) : nullptr;
+  }
+
+ private:
+  const Env* parent_;
+  std::vector<std::pair<std::string, const adm::Value*>> bindings_;
+  std::deque<adm::Value> arena_;
+};
+
+/// Evaluation statistics (exposed for tests and plan diagnostics).
+struct EvalStats {
+  uint64_t tuples_scanned = 0;
+  uint64_t index_probes = 0;
+  uint64_t access_path_candidates = 0;
+  uint64_t udf_calls = 0;
+};
+
+struct EvalContext {
+  DatasetAccessor* datasets = nullptr;
+  const FunctionResolver* functions = nullptr;
+  const AccessPathMap* access_paths = nullptr;
+  int max_recursion_depth = 24;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(EvalContext ctx) : ctx_(ctx) {}
+
+  /// Evaluates an expression under the given environment.
+  Result<adm::Value> Eval(const Expr& e, Env* env);
+
+  /// Evaluates a query block; returns the output rows.
+  Result<adm::Array> EvalQuery(const SelectStatement& q, Env* env);
+
+  /// Invokes a SQL++ UDF (binds parameters, evaluates the body). Returns the
+  /// collection produced by the body's SELECT.
+  Result<adm::Value> CallSqlppFunction(const SqlppFunctionDef& def,
+                                       const std::vector<adm::Value>& args, Env* env);
+
+  const EvalContext& context() const { return ctx_; }
+  EvalStats& stats() { return stats_; }
+
+ private:
+  struct MaterializedTuple {
+    std::vector<std::pair<std::string, adm::Value>> bindings;
+  };
+  struct GroupContext {
+    const std::vector<GroupKey>* keys = nullptr;
+    const std::vector<adm::Value>* key_values = nullptr;
+    const std::vector<MaterializedTuple>* members = nullptr;
+    const Env* base_env = nullptr;
+  };
+
+  Result<adm::Value> EvalBinary(const Expr& e, Env* env);
+  Result<adm::Value> EvalFunctionCall(const Expr& e, Env* env);
+  Result<adm::Value> EvalCase(const Expr& e, Env* env);
+  Result<adm::Value> EvalIn(const Expr& e, Env* env);
+
+  /// Streams joined tuples of the FROM clause through `emit`. Collects the
+  /// variable names bound per tuple into `var_names` on the first tuple.
+  Status ProduceTuples(const SelectStatement& q, Env* env,
+                       const std::function<Status(Env*)>& emit);
+  Status FromItemLoop(const SelectStatement& q, size_t item, Env* env,
+                      const std::function<Status(Env*)>& emit);
+
+  /// Evaluates WHERE + post-FROM LETs for the current tuple env; emits
+  /// downstream when the predicate passes.
+  Status EvalSelectOutput(const SelectStatement& q, Env* env, adm::Array* out);
+
+  Result<adm::Value> EvalAggregateCall(const Expr& e, Env* env);
+
+  /// Names every variable a tuple of `q` binds (FROM aliases + LETs).
+  static std::vector<std::string> TupleVarNames(const SelectStatement& q);
+
+  EvalContext ctx_;
+  EvalStats stats_;
+  std::vector<GroupContext> group_stack_;
+  int depth_ = 0;
+};
+
+/// True when the expression tree contains an aggregate function call
+/// (not descending into subqueries).
+bool ContainsAggregate(const Expr& e);
+
+}  // namespace idea::sqlpp

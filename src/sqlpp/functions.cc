@@ -1,0 +1,429 @@
+#include "sqlpp/functions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adm/spatial.h"
+#include "adm/temporal.h"
+#include "common/string_util.h"
+
+namespace idea::sqlpp {
+
+namespace {
+
+using adm::Value;
+
+Status ArityError(const char* fn, size_t want, size_t got) {
+  return Status::InvalidArgument(StringPrintf("%s expects %zu argument(s), got %zu", fn,
+                                              want, got));
+}
+
+Status TypeError(const char* fn, const char* want) {
+  return Status::TypeMismatch(StringPrintf("%s expects %s", fn, want));
+}
+
+// Most functions propagate MISSING/NULL inputs (SQL++ unknown semantics).
+bool AnyUnknown(const std::vector<Value>& args) {
+  for (const auto& a : args) {
+    if (a.IsUnknown()) return true;
+  }
+  return false;
+}
+
+Result<Value> FnContains(const std::vector<Value>& args) {
+  if (args.size() != 2) return ArityError("contains", 2, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsString() || !args[1].IsString()) {
+    return TypeError("contains", "(string, string)");
+  }
+  return Value::MakeBool(Contains(args[0].AsString(), args[1].AsString()));
+}
+
+Result<Value> FnLower(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("lower", 1, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsString()) return TypeError("lower", "(string)");
+  return Value::MakeString(ToLowerAscii(args[0].AsString()));
+}
+
+Result<Value> FnUpper(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("upper", 1, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsString()) return TypeError("upper", "(string)");
+  std::string s = args[0].AsString();
+  for (auto& c : s) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return Value::MakeString(std::move(s));
+}
+
+Result<Value> FnTrim(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("trim", 1, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsString()) return TypeError("trim", "(string)");
+  return Value::MakeString(Trim(args[0].AsString()));
+}
+
+Result<Value> FnLength(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("length", 1, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (args[0].IsString()) {
+    return Value::MakeInt(static_cast<int64_t>(args[0].AsString().size()));
+  }
+  if (args[0].IsArray()) {
+    return Value::MakeInt(static_cast<int64_t>(args[0].AsArray().size()));
+  }
+  return TypeError("length", "(string|array)");
+}
+
+Result<Value> FnEditDistance(const std::vector<Value>& args) {
+  if (args.size() != 2) return ArityError("edit_distance", 2, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsString() || !args[1].IsString()) {
+    return TypeError("edit_distance", "(string, string)");
+  }
+  return Value::MakeInt(EditDistance(args[0].AsString(), args[1].AsString()));
+}
+
+Result<Value> FnEditDistanceCheck(const std::vector<Value>& args) {
+  if (args.size() != 3) return ArityError("edit_distance_check", 3, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsString() || !args[1].IsString() || !args[2].IsInt()) {
+    return TypeError("edit_distance_check", "(string, string, int)");
+  }
+  int bound = static_cast<int>(args[2].AsInt());
+  int d = EditDistance(args[0].AsString(), args[1].AsString(), bound);
+  return Value::MakeBool(d <= bound);
+}
+
+Result<Value> FnRemoveSpecial(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("remove_special", 1, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsString()) return TypeError("remove_special", "(string)");
+  return Value::MakeString(ToLowerAscii(RemoveNonAlpha(args[0].AsString())));
+}
+
+Result<Value> FnCreatePoint(const std::vector<Value>& args) {
+  if (args.size() != 2) return ArityError("create_point", 2, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsNumeric() || !args[1].IsNumeric()) {
+    return TypeError("create_point", "(number, number)");
+  }
+  return Value::MakePoint(adm::Point{args[0].AsNumber(), args[1].AsNumber()});
+}
+
+Result<Value> FnCreateCircle(const std::vector<Value>& args) {
+  if (args.size() != 2) return ArityError("create_circle", 2, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsPoint() || !args[1].IsNumeric()) {
+    return TypeError("create_circle", "(point, number)");
+  }
+  return Value::MakeCircle(adm::Circle{args[0].AsPoint(), args[1].AsNumber()});
+}
+
+Result<Value> FnCreateRectangle(const std::vector<Value>& args) {
+  if (args.size() != 2) return ArityError("create_rectangle", 2, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsPoint() || !args[1].IsPoint()) {
+    return TypeError("create_rectangle", "(point, point)");
+  }
+  return Value::MakeRectangle(adm::Rectangle{args[0].AsPoint(), args[1].AsPoint()});
+}
+
+Result<Value> FnSpatialIntersect(const std::vector<Value>& args) {
+  if (args.size() != 2) return ArityError("spatial_intersect", 2, args.size());
+  return Value::MakeBool(adm::SpatialIntersect(args[0], args[1]));
+}
+
+Result<Value> FnSpatialDistance(const std::vector<Value>& args) {
+  if (args.size() != 2) return ArityError("spatial_distance", 2, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  double d = adm::SpatialDistance(args[0], args[1]);
+  if (std::isnan(d)) return TypeError("spatial_distance", "(point, point)");
+  return Value::MakeDouble(d);
+}
+
+Result<Value> FnDatetime(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("datetime", 1, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsString()) return TypeError("datetime", "(string)");
+  IDEA_ASSIGN_OR_RETURN(adm::DateTime dt, adm::ParseDateTime(args[0].AsString()));
+  return Value::MakeDateTime(dt);
+}
+
+Result<Value> FnDuration(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("duration", 1, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsString()) return TypeError("duration", "(string)");
+  IDEA_ASSIGN_OR_RETURN(adm::Duration d, adm::ParseDuration(args[0].AsString()));
+  return Value::MakeDuration(d);
+}
+
+Result<Value> FnAbs(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("abs", 1, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (args[0].IsInt()) return Value::MakeInt(std::llabs(args[0].AsInt()));
+  if (args[0].IsDouble()) return Value::MakeDouble(std::fabs(args[0].AsDouble()));
+  return TypeError("abs", "(number)");
+}
+
+Result<Value> FnSqrt(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("sqrt", 1, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsNumeric()) return TypeError("sqrt", "(number)");
+  return Value::MakeDouble(std::sqrt(args[0].AsNumber()));
+}
+
+Result<Value> FnFloor(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("floor", 1, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsNumeric()) return TypeError("floor", "(number)");
+  return Value::MakeDouble(std::floor(args[0].AsNumber()));
+}
+
+Result<Value> FnCeil(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("ceil", 1, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsNumeric()) return TypeError("ceil", "(number)");
+  return Value::MakeDouble(std::ceil(args[0].AsNumber()));
+}
+
+Result<Value> FnToString(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("to_string", 1, args.size());
+  if (args[0].IsString()) return args[0];
+  return Value::MakeString(args[0].ToString());
+}
+
+Result<Value> FnIsMissing(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("is_missing", 1, args.size());
+  return Value::MakeBool(args[0].IsMissing());
+}
+
+Result<Value> FnIsNull(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("is_null", 1, args.size());
+  return Value::MakeBool(args[0].IsNull());
+}
+
+Result<Value> FnIsUnknown(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("is_unknown", 1, args.size());
+  return Value::MakeBool(args[0].IsUnknown());
+}
+
+Result<Value> FnCoalesce(const std::vector<Value>& args) {
+  for (const auto& a : args) {
+    if (!a.IsUnknown()) return a;
+  }
+  return Value::MakeNull();
+}
+
+Result<Value> FnSplit(const std::vector<Value>& args) {
+  if (args.size() != 2) return ArityError("split", 2, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsString() || !args[1].IsString() || args[1].AsString().size() != 1) {
+    return TypeError("split", "(string, single-char string)");
+  }
+  adm::Array out;
+  for (auto& piece : SplitString(args[0].AsString(), args[1].AsString()[0])) {
+    out.push_back(Value::MakeString(std::move(piece)));
+  }
+  return Value::MakeArray(std::move(out));
+}
+
+Result<Value> FnStartsWith(const std::vector<Value>& args) {
+  if (args.size() != 2) return ArityError("starts_with", 2, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsString() || !args[1].IsString()) {
+    return TypeError("starts_with", "(string, string)");
+  }
+  const std::string& s = args[0].AsString();
+  const std::string& p = args[1].AsString();
+  return Value::MakeBool(s.size() >= p.size() && s.compare(0, p.size(), p) == 0);
+}
+
+Result<Value> FnSubstr(const std::vector<Value>& args) {
+  if (args.size() != 2 && args.size() != 3) return ArityError("substr", 2, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsString() || !args[1].IsInt()) return TypeError("substr", "(string, int)");
+  const std::string& s = args[0].AsString();
+  int64_t start = args[1].AsInt();
+  if (start < 0 || static_cast<size_t>(start) > s.size()) return Value::MakeNull();
+  size_t len = s.size() - static_cast<size_t>(start);
+  if (args.size() == 3) {
+    if (!args[2].IsInt() || args[2].AsInt() < 0) return TypeError("substr", "length >= 0");
+    len = std::min(len, static_cast<size_t>(args[2].AsInt()));
+  }
+  return Value::MakeString(s.substr(static_cast<size_t>(start), len));
+}
+
+Result<Value> FnArrayFlatten(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("array_flatten", 1, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsArray()) return TypeError("array_flatten", "(array)");
+  adm::Array out;
+  for (const Value& e : args[0].AsArray()) {
+    if (e.IsArray()) {
+      for (const Value& inner : e.AsArray()) out.push_back(inner);
+    } else {
+      out.push_back(e);
+    }
+  }
+  return Value::MakeArray(std::move(out));
+}
+
+Result<Value> FnArrayContains(const std::vector<Value>& args) {
+  if (args.size() != 2) return ArityError("array_contains", 2, args.size());
+  if (args[0].IsUnknown()) return Value::MakeNull();
+  if (!args[0].IsArray()) return TypeError("array_contains", "(array, any)");
+  for (const Value& e : args[0].AsArray()) {
+    if (e == args[1]) return Value::MakeBool(true);
+  }
+  return Value::MakeBool(false);
+}
+
+Result<Value> FnObjectMerge(const std::vector<Value>& args) {
+  if (args.size() != 2) return ArityError("object_merge", 2, args.size());
+  if (AnyUnknown(args)) return Value::MakeNull();
+  if (!args[0].IsObject() || !args[1].IsObject()) {
+    return TypeError("object_merge", "(object, object)");
+  }
+  Value out = args[1];
+  for (const auto& [name, val] : args[0].AsObject()) out.SetField(name, val);
+  return out;
+}
+
+// Aggregates dispatched over an explicit array argument (array_sum etc., and
+// the bare names when the evaluator sees an array outside a grouped context).
+Result<Value> AggregateOverArray(const char* name, const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError(name, 1, args.size());
+  if (args[0].IsUnknown()) return Value::MakeNull();
+  if (!args[0].IsArray()) return TypeError(name, "(array)");
+  return ApplyAggregate(name, args[0].AsArray());
+}
+
+Result<Value> FnArrayCount(const std::vector<Value>& args) {
+  return AggregateOverArray("count", args);
+}
+Result<Value> FnArraySum(const std::vector<Value>& args) {
+  return AggregateOverArray("sum", args);
+}
+Result<Value> FnArrayAvg(const std::vector<Value>& args) {
+  return AggregateOverArray("avg", args);
+}
+Result<Value> FnArrayMin(const std::vector<Value>& args) {
+  return AggregateOverArray("min", args);
+}
+Result<Value> FnArrayMax(const std::vector<Value>& args) {
+  return AggregateOverArray("max", args);
+}
+
+}  // namespace
+
+FunctionRegistry::FunctionRegistry() {
+  fns_ = {
+      {"contains", FnContains},
+      {"lower", FnLower},
+      {"lowercase", FnLower},
+      {"upper", FnUpper},
+      {"uppercase", FnUpper},
+      {"trim", FnTrim},
+      {"length", FnLength},
+      {"len", FnLength},
+      {"edit_distance", FnEditDistance},
+      {"edit_distance_check", FnEditDistanceCheck},
+      {"remove_special", FnRemoveSpecial},
+      {"create_point", FnCreatePoint},
+      {"create_circle", FnCreateCircle},
+      {"create_rectangle", FnCreateRectangle},
+      {"spatial_intersect", FnSpatialIntersect},
+      {"spatial_distance", FnSpatialDistance},
+      {"datetime", FnDatetime},
+      {"duration", FnDuration},
+      {"abs", FnAbs},
+      {"sqrt", FnSqrt},
+      {"floor", FnFloor},
+      {"ceil", FnCeil},
+      {"to_string", FnToString},
+      {"is_missing", FnIsMissing},
+      {"is_null", FnIsNull},
+      {"is_unknown", FnIsUnknown},
+      {"coalesce", FnCoalesce},
+      {"split", FnSplit},
+      {"starts_with", FnStartsWith},
+      {"substr", FnSubstr},
+      {"array_flatten", FnArrayFlatten},
+      {"array_contains", FnArrayContains},
+      {"object_merge", FnObjectMerge},
+      {"array_count", FnArrayCount},
+      {"array_sum", FnArraySum},
+      {"array_avg", FnArrayAvg},
+      {"array_min", FnArrayMin},
+      {"array_max", FnArrayMax},
+  };
+}
+
+const FunctionRegistry& FunctionRegistry::Global() {
+  static const FunctionRegistry kRegistry;
+  return kRegistry;
+}
+
+BuiltinFn FunctionRegistry::Find(const std::string& name) const {
+  for (const auto& [n, fn] : fns_) {
+    if (n == name) return fn;
+  }
+  return nullptr;
+}
+
+bool FunctionRegistry::IsAggregate(const std::string& name) {
+  return name == "count" || name == "sum" || name == "avg" || name == "min" ||
+         name == "max";
+}
+
+Result<adm::Value> ApplyAggregate(const std::string& name,
+                                  const std::vector<adm::Value>& items) {
+  using adm::Value;
+  if (name == "count") {
+    int64_t n = 0;
+    for (const auto& v : items) {
+      if (!v.IsUnknown()) ++n;
+    }
+    return Value::MakeInt(n);
+  }
+  if (name == "sum" || name == "avg") {
+    double sum = 0;
+    int64_t isum = 0;
+    bool all_int = true;
+    int64_t n = 0;
+    for (const auto& v : items) {
+      if (v.IsUnknown()) continue;
+      if (!v.IsNumeric()) {
+        return Status::TypeMismatch(name + " over non-numeric value " + v.ToString());
+      }
+      if (v.IsInt()) {
+        isum += v.AsInt();
+      } else {
+        all_int = false;
+      }
+      sum += v.AsNumber();
+      ++n;
+    }
+    if (n == 0) return Value::MakeNull();
+    if (name == "avg") return Value::MakeDouble(sum / static_cast<double>(n));
+    return all_int ? Value::MakeInt(isum) : Value::MakeDouble(sum);
+  }
+  if (name == "min" || name == "max") {
+    const Value* best = nullptr;
+    for (const auto& v : items) {
+      if (v.IsUnknown()) continue;
+      if (best == nullptr) {
+        best = &v;
+        continue;
+      }
+      int c = Value::Compare(v, *best);
+      if ((name == "min" && c < 0) || (name == "max" && c > 0)) best = &v;
+    }
+    return best == nullptr ? Value::MakeNull() : *best;
+  }
+  return Status::InvalidArgument("unknown aggregate '" + name + "'");
+}
+
+}  // namespace idea::sqlpp

@@ -1,0 +1,39 @@
+// Builtin SQL++ scalar function library. Aggregates (count/sum/avg/min/max)
+// are listed here but evaluated contextually by the evaluator (over groups or
+// arrays).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/status.h"
+
+namespace idea::sqlpp {
+
+using BuiltinFn = Result<adm::Value> (*)(const std::vector<adm::Value>& args);
+
+/// Registry of builtin scalar functions, looked up by lower-cased name.
+class FunctionRegistry {
+ public:
+  /// The process-wide builtin registry.
+  static const FunctionRegistry& Global();
+
+  /// Returns nullptr when unknown. Arity is validated by the function itself.
+  BuiltinFn Find(const std::string& name) const;
+
+  /// True for SQL++ aggregate function names (count/sum/avg/min/max and their
+  /// array_* aliases).
+  static bool IsAggregate(const std::string& name);
+
+ private:
+  FunctionRegistry();
+  std::vector<std::pair<std::string, BuiltinFn>> fns_;
+};
+
+/// Applies an aggregate over a collection of values (MISSING/NULL elements
+/// are skipped, as in SQL++). `name` must be lower-case.
+Result<adm::Value> ApplyAggregate(const std::string& name,
+                                  const std::vector<adm::Value>& items);
+
+}  // namespace idea::sqlpp

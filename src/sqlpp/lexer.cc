@@ -1,0 +1,251 @@
+#include "sqlpp/lexer.h"
+
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace idea::sqlpp {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "SELECT", "FROM",   "WHERE",   "GROUP",   "BY",      "ORDER",    "LIMIT",
+      "LET",    "VALUE",  "AS",      "AND",     "OR",      "NOT",      "IN",
+      "EXISTS", "CASE",   "WHEN",    "THEN",    "ELSE",    "END",      "CREATE",
+      "TYPE",   "OPEN",   "CLOSED",  "DATASET", "PRIMARY", "KEY",      "FUNCTION",
+      "FEED",   "CONNECT","TO",      "APPLY",   "START",   "STOP",     "INSERT",
+      "UPSERT", "INTO",   "WITH",    "TRUE",    "FALSE",   "NULL",     "MISSING",
+      "ASC",    "DESC",   "INDEX",   "ON",      "HAVING",  "DROP",     "IF",
+      "REPLACE","DISTINCT","LIKE",   "BETWEEN", "IS",      "UNKNOWN",  "USING",
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == '$';
+}
+bool IsIdentChar(char c) { return IsIdentStart(c) || (c >= '0' && c <= '9'); }
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+bool IsKeyword(const std::string& upper) { return Keywords().count(upper) > 0; }
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t pos = 0;
+  const size_t n = input.size();
+  while (pos < n) {
+    char c = input[pos];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++pos;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && pos + 1 < n && input[pos + 1] == '-') {
+      while (pos < n && input[pos] != '\n') ++pos;
+      continue;
+    }
+    // Block comment or hint.
+    if (c == '/' && pos + 1 < n && input[pos + 1] == '*') {
+      size_t start = pos;
+      pos += 2;
+      bool hint = pos < n && input[pos] == '+';
+      if (hint) ++pos;
+      size_t body_start = pos;
+      while (pos + 1 < n && !(input[pos] == '*' && input[pos + 1] == '/')) ++pos;
+      if (pos + 1 >= n) {
+        return Status::ParseError("unterminated comment at offset " +
+                                  std::to_string(start));
+      }
+      if (hint) {
+        Token t;
+        t.type = TokenType::kHint;
+        t.text = Trim(input.substr(body_start, pos - body_start));
+        t.offset = start;
+        out.push_back(std::move(t));
+      }
+      pos += 2;
+      continue;
+    }
+    // String literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t start = pos;
+      ++pos;
+      std::string text;
+      bool closed = false;
+      while (pos < n) {
+        char s = input[pos];
+        if (s == '\\' && pos + 1 < n) {
+          char e = input[pos + 1];
+          switch (e) {
+            case 'n':
+              text.push_back('\n');
+              break;
+            case 't':
+              text.push_back('\t');
+              break;
+            case 'r':
+              text.push_back('\r');
+              break;
+            case '\\':
+              text.push_back('\\');
+              break;
+            case '"':
+              text.push_back('"');
+              break;
+            case '\'':
+              text.push_back('\'');
+              break;
+            default:
+              text.push_back('\\');
+              text.push_back(e);
+          }
+          pos += 2;
+          continue;
+        }
+        if (s == quote) {
+          closed = true;
+          ++pos;
+          break;
+        }
+        text.push_back(s);
+        ++pos;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      Token t;
+      t.type = TokenType::kString;
+      t.text = std::move(text);
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Number.
+    if (IsDigit(c) || (c == '.' && pos + 1 < n && IsDigit(input[pos + 1]))) {
+      size_t start = pos;
+      bool is_double = false;
+      while (pos < n && IsDigit(input[pos])) ++pos;
+      if (pos < n && input[pos] == '.' && pos + 1 < n && IsDigit(input[pos + 1])) {
+        is_double = true;
+        ++pos;
+        while (pos < n && IsDigit(input[pos])) ++pos;
+      }
+      if (pos < n && (input[pos] == 'e' || input[pos] == 'E')) {
+        size_t epos = pos + 1;
+        if (epos < n && (input[epos] == '+' || input[epos] == '-')) ++epos;
+        if (epos < n && IsDigit(input[epos])) {
+          is_double = true;
+          pos = epos;
+          while (pos < n && IsDigit(input[pos])) ++pos;
+        }
+      }
+      std::string tok = input.substr(start, pos - start);
+      Token t;
+      t.offset = start;
+      if (is_double) {
+        t.type = TokenType::kDouble;
+        t.double_value = std::strtod(tok.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kInteger;
+        t.int_value = std::strtoll(tok.c_str(), nullptr, 10);
+      }
+      t.text = std::move(tok);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Identifier / keyword (with optional lib#name form).
+    if (IsIdentStart(c)) {
+      size_t start = pos;
+      while (pos < n && IsIdentChar(input[pos])) ++pos;
+      std::string word = input.substr(start, pos - start);
+      // lib#name function reference.
+      if (pos < n && input[pos] == '#') {
+        size_t hash = pos;
+        ++pos;
+        size_t fn_start = pos;
+        while (pos < n && IsIdentChar(input[pos])) ++pos;
+        if (pos == fn_start) {
+          return Status::ParseError("dangling '#' at offset " + std::to_string(hash));
+        }
+        Token t;
+        t.type = TokenType::kIdentifier;
+        t.text = word + "#" + input.substr(fn_start, pos - fn_start);
+        t.offset = start;
+        out.push_back(std::move(t));
+        continue;
+      }
+      std::string upper = word;
+      for (auto& ch : upper) {
+        if (ch >= 'a' && ch <= 'z') ch = static_cast<char>(ch - 'a' + 'A');
+      }
+      Token t;
+      t.offset = start;
+      if (IsKeyword(upper)) {
+        t.type = TokenType::kKeyword;
+        t.text = std::move(upper);
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = std::move(word);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Backquoted identifier.
+    if (c == '`') {
+      size_t start = pos;
+      ++pos;
+      size_t id_start = pos;
+      while (pos < n && input[pos] != '`') ++pos;
+      if (pos >= n) {
+        return Status::ParseError("unterminated identifier at offset " +
+                                  std::to_string(start));
+      }
+      Token t;
+      t.type = TokenType::kIdentifier;
+      t.text = input.substr(id_start, pos - id_start);
+      t.offset = start;
+      out.push_back(std::move(t));
+      ++pos;
+      continue;
+    }
+    // Symbols (longest match first).
+    {
+      static const char* kTwoChar[] = {"!=", "<=", ">=", "||", "<>"};
+      std::string sym;
+      for (const char* s : kTwoChar) {
+        if (input.compare(pos, 2, s) == 0) {
+          sym = s;
+          break;
+        }
+      }
+      if (sym.empty()) {
+        static const std::string kOneChar = "(){}[],;:.*=<>+-/%?@";
+        if (kOneChar.find(c) == std::string::npos) {
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at offset " + std::to_string(pos));
+        }
+        sym = std::string(1, c);
+      }
+      Token t;
+      t.type = TokenType::kSymbol;
+      t.text = sym == "<>" ? "!=" : sym;
+      t.offset = pos;
+      out.push_back(std::move(t));
+      pos += sym.size() == 1 ? 1 : 2;
+      continue;
+    }
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace idea::sqlpp

@@ -1,0 +1,41 @@
+// Hand-written lexer for the SQL++ subset. Keywords are case-insensitive;
+// identifiers keep their case. Supports `lib#function` references, string
+// literals in single or double quotes, line (`-- ...`) and block comments,
+// and `/*+ hint */` join hints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace idea::sqlpp {
+
+enum class TokenType : uint8_t {
+  kEnd,
+  kIdentifier,
+  kKeyword,     // normalized to upper case in `text`
+  kString,
+  kInteger,
+  kDouble,
+  kSymbol,      // punctuation / operators, in `text`
+  kHint,        // contents of a /*+ ... */ comment, trimmed
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;  // byte offset in the source (for error messages)
+};
+
+/// Tokenizes a full statement string. The resulting vector always ends with
+/// a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+/// True when `word` (upper-cased) is a reserved keyword.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace idea::sqlpp

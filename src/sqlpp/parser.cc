@@ -1,0 +1,820 @@
+#include "sqlpp/parser.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "sqlpp/lexer.h"
+
+namespace idea::sqlpp {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) {
+    // Strip hint tokens out of the stream, remembering which (compacted)
+    // token index each hint precedes so FROM items can pick them up.
+    for (auto& t : tokens) {
+      if (t.type == TokenType::kHint) {
+        pending_hints_[tokens_.size()] = t.text;
+      } else {
+        tokens_.push_back(std::move(t));
+      }
+    }
+  }
+
+  Result<Statement> ParseOneStatement() {
+    IDEA_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInternal());
+    TryConsumeSymbol(";");
+    if (!AtEnd()) return Err("unexpected trailing tokens");
+    return stmt;
+  }
+
+  Result<std::vector<Statement>> ParseAll() {
+    std::vector<Statement> out;
+    while (!AtEnd()) {
+      if (TryConsumeSymbol(";")) continue;
+      IDEA_ASSIGN_OR_RETURN(Statement stmt, ParseStatementInternal());
+      out.push_back(std::move(stmt));
+      if (!AtEnd()) {
+        if (!TryConsumeSymbol(";")) return Err("expected ';' between statements");
+      }
+    }
+    return out;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    IDEA_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!AtEnd()) return Err("unexpected trailing tokens after expression");
+    return e;
+  }
+
+ private:
+  // -- token utilities -----------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool PeekKeyword(const char* kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kKeyword && t.text == kw;
+  }
+  bool PeekSymbol(const char* sym, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kSymbol && t.text == sym;
+  }
+  bool TryConsumeKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool TryConsumeSymbol(const char* sym) {
+    if (PeekSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!TryConsumeKeyword(kw)) return Err(std::string("expected ") + kw);
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!TryConsumeSymbol(sym)) return Err(std::string("expected '") + sym + "'");
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().type != TokenType::kIdentifier) return Status(Err("expected identifier"));
+    return Advance().text;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(Peek().offset) +
+                              (Peek().text.empty() ? "" : " (near '" + Peek().text + "')"));
+  }
+
+  // -- statements ----------------------------------------------------------
+
+  Result<Statement> ParseStatementInternal() {
+    if (PeekKeyword("CREATE")) return ParseCreate();
+    if (PeekKeyword("CONNECT")) return ParseConnectFeed();
+    if (PeekKeyword("START") || PeekKeyword("STOP")) return ParseFeedControl();
+    if (PeekKeyword("INSERT") || PeekKeyword("UPSERT")) return ParseInsert();
+    if (PeekKeyword("DROP")) return ParseDrop();
+    if (PeekKeyword("SELECT") || PeekKeyword("FROM") || PeekKeyword("LET")) {
+      Statement stmt;
+      stmt.kind = StatementKind::kQuery;
+      IDEA_ASSIGN_OR_RETURN(stmt.query, ParseSelectBlock());
+      return stmt;
+    }
+    return Status(Err("expected statement"));
+  }
+
+  Result<Statement> ParseCreate() {
+    Advance();  // CREATE
+    if (TryConsumeKeyword("TYPE")) return ParseCreateType();
+    if (TryConsumeKeyword("DATASET")) return ParseCreateDataset();
+    if (TryConsumeKeyword("INDEX")) return ParseCreateIndex();
+    if (TryConsumeKeyword("FEED")) return ParseCreateFeed();
+    bool or_replace = false;
+    if (TryConsumeKeyword("OR")) {
+      IDEA_RETURN_NOT_OK(ExpectKeyword("REPLACE"));
+      or_replace = true;
+    }
+    if (TryConsumeKeyword("FUNCTION")) return ParseCreateFunction(or_replace);
+    return Status(Err("expected TYPE/DATASET/INDEX/FEED/FUNCTION after CREATE"));
+  }
+
+  Result<Statement> ParseCreateType() {
+    Statement stmt;
+    stmt.kind = StatementKind::kCreateType;
+    IDEA_ASSIGN_OR_RETURN(stmt.create_type.name, ExpectIdentifier());
+    IDEA_RETURN_NOT_OK(ExpectKeyword("AS"));
+    if (TryConsumeKeyword("CLOSED")) {
+      stmt.create_type.open = false;
+    } else {
+      TryConsumeKeyword("OPEN");
+    }
+    IDEA_RETURN_NOT_OK(ExpectSymbol("{"));
+    if (!TryConsumeSymbol("}")) {
+      while (true) {
+        TypeFieldDecl field;
+        IDEA_ASSIGN_OR_RETURN(field.name, ExpectIdentifier());
+        IDEA_RETURN_NOT_OK(ExpectSymbol(":"));
+        IDEA_ASSIGN_OR_RETURN(field.type_name, ExpectIdentifier());
+        if (TryConsumeSymbol("?")) field.optional = true;
+        stmt.create_type.fields.push_back(std::move(field));
+        if (TryConsumeSymbol(",")) continue;
+        IDEA_RETURN_NOT_OK(ExpectSymbol("}"));
+        break;
+      }
+    }
+    return stmt;
+  }
+
+  Result<Statement> ParseCreateDataset() {
+    Statement stmt;
+    stmt.kind = StatementKind::kCreateDataset;
+    IDEA_ASSIGN_OR_RETURN(stmt.create_dataset.name, ExpectIdentifier());
+    IDEA_RETURN_NOT_OK(ExpectSymbol("("));
+    IDEA_ASSIGN_OR_RETURN(stmt.create_dataset.type_name, ExpectIdentifier());
+    IDEA_RETURN_NOT_OK(ExpectSymbol(")"));
+    IDEA_RETURN_NOT_OK(ExpectKeyword("PRIMARY"));
+    IDEA_RETURN_NOT_OK(ExpectKeyword("KEY"));
+    IDEA_ASSIGN_OR_RETURN(stmt.create_dataset.primary_key, ExpectIdentifier());
+    return stmt;
+  }
+
+  Result<Statement> ParseCreateIndex() {
+    Statement stmt;
+    stmt.kind = StatementKind::kCreateIndex;
+    IDEA_ASSIGN_OR_RETURN(stmt.create_index.name, ExpectIdentifier());
+    IDEA_RETURN_NOT_OK(ExpectKeyword("ON"));
+    IDEA_ASSIGN_OR_RETURN(stmt.create_index.dataset, ExpectIdentifier());
+    IDEA_RETURN_NOT_OK(ExpectSymbol("("));
+    IDEA_ASSIGN_OR_RETURN(stmt.create_index.field, ExpectIdentifier());
+    IDEA_RETURN_NOT_OK(ExpectSymbol(")"));
+    stmt.create_index.index_type = "btree";
+    if (TryConsumeKeyword("TYPE") || TryConsumeKeyword("USING")) {
+      IDEA_ASSIGN_OR_RETURN(std::string t, ExpectIdentifier());
+      stmt.create_index.index_type = ToLowerAscii(t);
+    }
+    return stmt;
+  }
+
+  Result<Statement> ParseCreateFunction(bool or_replace) {
+    Statement stmt;
+    stmt.kind = StatementKind::kCreateFunction;
+    stmt.create_function.or_replace = or_replace;
+    IDEA_ASSIGN_OR_RETURN(stmt.create_function.name, ExpectIdentifier());
+    IDEA_RETURN_NOT_OK(ExpectSymbol("("));
+    if (!TryConsumeSymbol(")")) {
+      while (true) {
+        IDEA_ASSIGN_OR_RETURN(std::string p, ExpectIdentifier());
+        stmt.create_function.params.push_back(std::move(p));
+        if (TryConsumeSymbol(",")) continue;
+        IDEA_RETURN_NOT_OK(ExpectSymbol(")"));
+        break;
+      }
+    }
+    IDEA_RETURN_NOT_OK(ExpectSymbol("{"));
+    IDEA_ASSIGN_OR_RETURN(stmt.create_function.body, ParseSelectBlock());
+    IDEA_RETURN_NOT_OK(ExpectSymbol("}"));
+    return stmt;
+  }
+
+  Result<Statement> ParseCreateFeed() {
+    Statement stmt;
+    stmt.kind = StatementKind::kCreateFeed;
+    IDEA_ASSIGN_OR_RETURN(stmt.create_feed.name, ExpectIdentifier());
+    IDEA_RETURN_NOT_OK(ExpectKeyword("WITH"));
+    IDEA_RETURN_NOT_OK(ExpectSymbol("{"));
+    if (!TryConsumeSymbol("}")) {
+      while (true) {
+        if (Peek().type != TokenType::kString) return Status(Err("expected config key"));
+        std::string key = Advance().text;
+        IDEA_RETURN_NOT_OK(ExpectSymbol(":"));
+        const Token& v = Peek();
+        std::string val;
+        if (v.type == TokenType::kString || v.type == TokenType::kIdentifier) {
+          val = Advance().text;
+        } else if (v.type == TokenType::kInteger || v.type == TokenType::kDouble) {
+          val = Advance().text;
+        } else {
+          return Status(Err("expected config value"));
+        }
+        stmt.create_feed.config[key] = std::move(val);
+        if (TryConsumeSymbol(",")) continue;
+        IDEA_RETURN_NOT_OK(ExpectSymbol("}"));
+        break;
+      }
+    }
+    return stmt;
+  }
+
+  Result<Statement> ParseConnectFeed() {
+    Advance();  // CONNECT
+    IDEA_RETURN_NOT_OK(ExpectKeyword("FEED"));
+    Statement stmt;
+    stmt.kind = StatementKind::kConnectFeed;
+    IDEA_ASSIGN_OR_RETURN(stmt.connect_feed.feed, ExpectIdentifier());
+    IDEA_RETURN_NOT_OK(ExpectKeyword("TO"));
+    IDEA_RETURN_NOT_OK(ExpectKeyword("DATASET"));
+    IDEA_ASSIGN_OR_RETURN(stmt.connect_feed.dataset, ExpectIdentifier());
+    if (TryConsumeKeyword("APPLY")) {
+      IDEA_RETURN_NOT_OK(ExpectKeyword("FUNCTION"));
+      IDEA_ASSIGN_OR_RETURN(stmt.connect_feed.apply_function, ExpectIdentifier());
+    }
+    return stmt;
+  }
+
+  Result<Statement> ParseFeedControl() {
+    bool start = PeekKeyword("START");
+    Advance();
+    IDEA_RETURN_NOT_OK(ExpectKeyword("FEED"));
+    Statement stmt;
+    stmt.kind = start ? StatementKind::kStartFeed : StatementKind::kStopFeed;
+    IDEA_ASSIGN_OR_RETURN(stmt.feed_control.feed, ExpectIdentifier());
+    return stmt;
+  }
+
+  Result<Statement> ParseInsert() {
+    bool upsert = PeekKeyword("UPSERT");
+    Advance();
+    IDEA_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    Statement stmt;
+    stmt.kind = upsert ? StatementKind::kUpsert : StatementKind::kInsert;
+    stmt.insert.upsert = upsert;
+    IDEA_ASSIGN_OR_RETURN(stmt.insert.dataset, ExpectIdentifier());
+    IDEA_RETURN_NOT_OK(ExpectSymbol("("));
+    if (PeekKeyword("SELECT") || PeekKeyword("LET") || PeekKeyword("FROM")) {
+      IDEA_ASSIGN_OR_RETURN(stmt.insert.query, ParseSelectBlock());
+    } else {
+      IDEA_ASSIGN_OR_RETURN(stmt.insert.collection, ParseExpr());
+    }
+    IDEA_RETURN_NOT_OK(ExpectSymbol(")"));
+    return stmt;
+  }
+
+  Result<Statement> ParseDrop() {
+    Advance();  // DROP
+    Statement stmt;
+    if (TryConsumeKeyword("DATASET")) {
+      stmt.kind = StatementKind::kDropDataset;
+    } else if (TryConsumeKeyword("FUNCTION")) {
+      stmt.kind = StatementKind::kDropFunction;
+    } else {
+      return Status(Err("expected DATASET or FUNCTION after DROP"));
+    }
+    IDEA_ASSIGN_OR_RETURN(stmt.drop.name, ExpectIdentifier());
+    if (TryConsumeKeyword("IF")) {
+      IDEA_RETURN_NOT_OK(ExpectKeyword("EXISTS"));
+      stmt.drop.if_exists = true;
+    }
+    return stmt;
+  }
+
+  // -- query blocks ----------------------------------------------------------
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelectBlock() {
+    auto block = std::make_unique<SelectStatement>();
+    bool saw_select = false, saw_from = false, saw_where = false, saw_group = false;
+    bool saw_having = false, saw_order = false, saw_limit = false;
+    while (true) {
+      if (PeekKeyword("LET")) {
+        Advance();
+        while (true) {
+          LetClause let;
+          let.pre_from = !saw_from;
+          IDEA_ASSIGN_OR_RETURN(let.name, ExpectIdentifier());
+          IDEA_RETURN_NOT_OK(ExpectSymbol("="));
+          IDEA_ASSIGN_OR_RETURN(let.expr, ParseExpr());
+          if (saw_group) {
+            block->group_lets.push_back(std::move(let));
+          } else {
+            block->lets.push_back(std::move(let));
+          }
+          if (!TryConsumeSymbol(",")) break;
+        }
+        continue;
+      }
+      if (PeekKeyword("SELECT") && !saw_select) {
+        Advance();
+        saw_select = true;
+        IDEA_RETURN_NOT_OK(ParseSelectClause(block.get()));
+        continue;
+      }
+      if (PeekKeyword("FROM") && !saw_from) {
+        Advance();
+        saw_from = true;
+        while (true) {
+          IDEA_ASSIGN_OR_RETURN(FromClause fc, ParseFromItem());
+          block->from.push_back(std::move(fc));
+          if (!TryConsumeSymbol(",")) break;
+        }
+        continue;
+      }
+      if (PeekKeyword("WHERE") && !saw_where) {
+        Advance();
+        saw_where = true;
+        IDEA_ASSIGN_OR_RETURN(block->where, ParseExpr());
+        continue;
+      }
+      if (PeekKeyword("GROUP") && !saw_group) {
+        Advance();
+        IDEA_RETURN_NOT_OK(ExpectKeyword("BY"));
+        saw_group = true;
+        while (true) {
+          GroupKey key;
+          IDEA_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+          if (TryConsumeKeyword("AS")) {
+            IDEA_ASSIGN_OR_RETURN(key.alias, ExpectIdentifier());
+          }
+          block->group_by.push_back(std::move(key));
+          if (!TryConsumeSymbol(",")) break;
+        }
+        continue;
+      }
+      if (PeekKeyword("HAVING") && !saw_having) {
+        Advance();
+        saw_having = true;
+        IDEA_ASSIGN_OR_RETURN(block->having, ParseExpr());
+        continue;
+      }
+      if (PeekKeyword("ORDER") && !saw_order) {
+        Advance();
+        IDEA_RETURN_NOT_OK(ExpectKeyword("BY"));
+        saw_order = true;
+        while (true) {
+          OrderKey key;
+          IDEA_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+          if (TryConsumeKeyword("DESC")) {
+            key.descending = true;
+          } else {
+            TryConsumeKeyword("ASC");
+          }
+          block->order_by.push_back(std::move(key));
+          if (!TryConsumeSymbol(",")) break;
+        }
+        continue;
+      }
+      if (PeekKeyword("LIMIT") && !saw_limit) {
+        Advance();
+        saw_limit = true;
+        if (Peek().type != TokenType::kInteger) return Status(Err("expected LIMIT count"));
+        block->limit = Advance().int_value;
+        continue;
+      }
+      break;
+    }
+    if (!saw_select) return Status(Err("query block lacks a SELECT clause"));
+    return block;
+  }
+
+  Status ParseSelectClause(SelectStatement* block) {
+    TryConsumeKeyword("DISTINCT");  // accepted, treated as plain SELECT
+    if (TryConsumeKeyword("VALUE")) {
+      IDEA_ASSIGN_OR_RETURN(block->select_value, ParseExpr());
+      return Status::OK();
+    }
+    // `SELECT *` alone spreads the single FROM variable.
+    if (PeekSymbol("*") && !PeekSymbol("*", 1)) {
+      // Distinguish `SELECT *` from multiplication: '*' directly after SELECT.
+      Advance();
+      Projection p;
+      p.expr = nullptr;
+      p.star = true;
+      block->projections.push_back(std::move(p));
+      if (TryConsumeSymbol(",")) return ParseRemainingProjections(block);
+      return Status::OK();
+    }
+    return ParseRemainingProjections(block);
+  }
+
+  Status ParseRemainingProjections(SelectStatement* block) {
+    while (true) {
+      Projection p;
+      IDEA_ASSIGN_OR_RETURN(p.expr, ParseExpr());
+      // `expr.*` star spread: ParsePostfix stops before '.' '*'.
+      if (PeekSymbol(".") && PeekSymbol("*", 1)) {
+        Advance();
+        Advance();
+        p.star = true;
+      } else if (TryConsumeKeyword("AS")) {
+        IDEA_ASSIGN_OR_RETURN(p.alias, ExpectIdentifier());
+      } else if (Peek().type == TokenType::kIdentifier) {
+        // Implicit alias: `SELECT t.country Country`.
+        p.alias = Advance().text;
+      }
+      block->projections.push_back(std::move(p));
+      if (!TryConsumeSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Result<FromClause> ParseFromItem() {
+    FromClause fc;
+    size_t start_idx = pos_;
+    if (TryConsumeKeyword("FEED")) {
+      fc.source = FromClause::Source::kFeed;
+      IDEA_ASSIGN_OR_RETURN(fc.dataset, ExpectIdentifier());
+    } else if (PeekSymbol("(")) {
+      Advance();
+      fc.source = FromClause::Source::kExpression;
+      if (PeekKeyword("SELECT") || PeekKeyword("LET") || PeekKeyword("FROM")) {
+        auto sub = std::make_unique<Expr>();
+        sub->kind = ExprKind::kSubquery;
+        IDEA_ASSIGN_OR_RETURN(sub->subquery, ParseSelectBlock());
+        fc.expr = std::move(sub);
+      } else {
+        IDEA_ASSIGN_OR_RETURN(fc.expr, ParseExpr());
+      }
+      IDEA_RETURN_NOT_OK(ExpectSymbol(")"));
+    } else {
+      fc.source = FromClause::Source::kDataset;
+      IDEA_ASSIGN_OR_RETURN(fc.dataset, ExpectIdentifier());
+    }
+    TryConsumeKeyword("AS");
+    if (Peek().type == TokenType::kIdentifier) {
+      fc.alias = Advance().text;
+    } else if (fc.source != FromClause::Source::kExpression) {
+      fc.alias = fc.dataset;  // dataset name doubles as the variable
+    } else {
+      return Status(Err("FROM subquery requires an alias"));
+    }
+    // Apply any hint that appeared within this FROM item's token span.
+    for (size_t i = start_idx; i <= pos_; ++i) {
+      auto it = pending_hints_.find(i);
+      if (it == pending_hints_.end()) continue;
+      std::string h = ToLowerAscii(it->second);
+      if (Contains(h, "skip-index") || Contains(h, "naive")) fc.hints.skip_index = true;
+      if (Contains(h, "indexnl") || Contains(h, "index-nl")) fc.hints.force_index = true;
+    }
+    return fc;
+  }
+
+  // -- expressions -----------------------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    IDEA_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (TryConsumeKeyword("OR")) {
+      IDEA_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    IDEA_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (TryConsumeKeyword("AND")) {
+      IDEA_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (TryConsumeKeyword("NOT")) {
+      IDEA_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_op = UnaryOp::kNot;
+      e->left = std::move(inner);
+      return e;
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    IDEA_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    // IN / NOT IN.
+    bool negated = false;
+    if (PeekKeyword("NOT") && PeekKeyword("IN", 1)) {
+      Advance();
+      negated = true;
+    }
+    if (TryConsumeKeyword("IN")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kIn;
+      e->left = std::move(left);
+      if (PeekSymbol("(") &&
+          (PeekKeyword("SELECT", 1) || PeekKeyword("LET", 1) || PeekKeyword("FROM", 1))) {
+        Advance();
+        IDEA_ASSIGN_OR_RETURN(e->subquery, ParseSelectBlock());
+        IDEA_RETURN_NOT_OK(ExpectSymbol(")"));
+      } else {
+        IDEA_ASSIGN_OR_RETURN(e->right, ParseAdditive());
+      }
+      if (!negated) return e;
+      auto not_e = std::make_unique<Expr>();
+      not_e->kind = ExprKind::kUnary;
+      not_e->unary_op = UnaryOp::kNot;
+      not_e->left = std::move(e);
+      return not_e;
+    }
+    static const std::pair<const char*, BinaryOp> kCmps[] = {
+        {"=", BinaryOp::kEq}, {"!=", BinaryOp::kNeq}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+    };
+    for (const auto& [sym, op] : kCmps) {
+      if (PeekSymbol(sym)) {
+        Advance();
+        IDEA_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return MakeBinary(op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    IDEA_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (true) {
+      BinaryOp op;
+      if (PeekSymbol("+")) {
+        op = BinaryOp::kAdd;
+      } else if (PeekSymbol("-")) {
+        op = BinaryOp::kSub;
+      } else if (PeekSymbol("||")) {
+        op = BinaryOp::kConcat;
+      } else {
+        break;
+      }
+      Advance();
+      IDEA_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    IDEA_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (true) {
+      BinaryOp op;
+      if (PeekSymbol("*")) {
+        op = BinaryOp::kMul;
+      } else if (PeekSymbol("/")) {
+        op = BinaryOp::kDiv;
+      } else {
+        break;
+      }
+      Advance();
+      IDEA_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (TryConsumeSymbol("-")) {
+      IDEA_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kUnary;
+      e->unary_op = UnaryOp::kNegate;
+      e->left = std::move(inner);
+      return e;
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    IDEA_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    while (true) {
+      // Stop before `.*` so projections can claim the star spread.
+      if (PeekSymbol(".") && !PeekSymbol("*", 1)) {
+        Advance();
+        IDEA_ASSIGN_OR_RETURN(std::string field, ExpectIdentifier());
+        e = MakeFieldAccess(std::move(e), std::move(field));
+        continue;
+      }
+      if (PeekSymbol("[")) {
+        Advance();
+        auto idx = std::make_unique<Expr>();
+        idx->kind = ExprKind::kIndexAccess;
+        idx->base = std::move(e);
+        IDEA_ASSIGN_OR_RETURN(idx->index, ParseExpr());
+        IDEA_RETURN_NOT_OK(ExpectSymbol("]"));
+        e = std::move(idx);
+        continue;
+      }
+      break;
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger: {
+        Advance();
+        return MakeLiteral(adm::Value::MakeInt(t.int_value));
+      }
+      case TokenType::kDouble: {
+        Advance();
+        return MakeLiteral(adm::Value::MakeDouble(t.double_value));
+      }
+      case TokenType::kString: {
+        std::string s = Advance().text;
+        return MakeLiteral(adm::Value::MakeString(std::move(s)));
+      }
+      case TokenType::kKeyword: {
+        if (t.text == "TRUE") {
+          Advance();
+          return MakeLiteral(adm::Value::MakeBool(true));
+        }
+        if (t.text == "FALSE") {
+          Advance();
+          return MakeLiteral(adm::Value::MakeBool(false));
+        }
+        if (t.text == "NULL") {
+          Advance();
+          return MakeLiteral(adm::Value::MakeNull());
+        }
+        if (t.text == "MISSING") {
+          Advance();
+          return MakeLiteral(adm::Value::MakeMissing());
+        }
+        if (t.text == "CASE") return ParseCase();
+        if (t.text == "EXISTS") {
+          Advance();
+          IDEA_RETURN_NOT_OK(ExpectSymbol("("));
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kExists;
+          IDEA_ASSIGN_OR_RETURN(e->subquery, ParseSelectBlock());
+          IDEA_RETURN_NOT_OK(ExpectSymbol(")"));
+          return e;
+        }
+        return Status(Err("unexpected keyword in expression"));
+      }
+      case TokenType::kIdentifier: {
+        std::string name = Advance().text;
+        if (PeekSymbol("(")) {
+          Advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kFunctionCall;
+          size_t hash = name.find('#');
+          if (hash != std::string::npos) {
+            e->fn_library = name.substr(0, hash);
+            e->fn_name = name.substr(hash + 1);
+          } else {
+            e->fn_name = std::move(name);
+          }
+          if (!TryConsumeSymbol(")")) {
+            while (true) {
+              if (PeekSymbol("*")) {
+                Advance();
+                auto star = std::make_unique<Expr>();
+                star->kind = ExprKind::kStar;
+                e->args.push_back(std::move(star));
+              } else if (PeekKeyword("SELECT") || PeekKeyword("LET")) {
+                auto sub = std::make_unique<Expr>();
+                sub->kind = ExprKind::kSubquery;
+                IDEA_ASSIGN_OR_RETURN(sub->subquery, ParseSelectBlock());
+                e->args.push_back(std::move(sub));
+              } else {
+                IDEA_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+                e->args.push_back(std::move(arg));
+              }
+              if (TryConsumeSymbol(",")) continue;
+              IDEA_RETURN_NOT_OK(ExpectSymbol(")"));
+              break;
+            }
+          }
+          return ExprPtr(std::move(e));
+        }
+        return MakeVarRef(std::move(name));
+      }
+      case TokenType::kSymbol: {
+        if (t.text == "(") {
+          Advance();
+          if (PeekKeyword("SELECT") || PeekKeyword("LET") || PeekKeyword("FROM")) {
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kSubquery;
+            IDEA_ASSIGN_OR_RETURN(e->subquery, ParseSelectBlock());
+            IDEA_RETURN_NOT_OK(ExpectSymbol(")"));
+            return ExprPtr(std::move(e));
+          }
+          IDEA_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          IDEA_RETURN_NOT_OK(ExpectSymbol(")"));
+          return inner;
+        }
+        if (t.text == "[") {
+          Advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kArrayConstructor;
+          if (!TryConsumeSymbol("]")) {
+            while (true) {
+              IDEA_ASSIGN_OR_RETURN(ExprPtr el, ParseExpr());
+              e->elements.push_back(std::move(el));
+              if (TryConsumeSymbol(",")) continue;
+              IDEA_RETURN_NOT_OK(ExpectSymbol("]"));
+              break;
+            }
+          }
+          return ExprPtr(std::move(e));
+        }
+        if (t.text == "{") {
+          Advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kObjectConstructor;
+          if (!TryConsumeSymbol("}")) {
+            while (true) {
+              std::string key;
+              if (Peek().type == TokenType::kString ||
+                  Peek().type == TokenType::kIdentifier) {
+                key = Advance().text;
+              } else {
+                return Status(Err("expected object field name"));
+              }
+              IDEA_RETURN_NOT_OK(ExpectSymbol(":"));
+              IDEA_ASSIGN_OR_RETURN(ExprPtr val, ParseExpr());
+              e->object_fields.emplace_back(std::move(key), std::move(val));
+              if (TryConsumeSymbol(",")) continue;
+              IDEA_RETURN_NOT_OK(ExpectSymbol("}"));
+              break;
+            }
+          }
+          return ExprPtr(std::move(e));
+        }
+        return Status(Err("unexpected symbol in expression"));
+      }
+      default:
+        return Status(Err("unexpected token in expression"));
+    }
+  }
+
+  Result<ExprPtr> ParseCase() {
+    Advance();  // CASE
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::kCase;
+    if (!PeekKeyword("WHEN")) {
+      IDEA_ASSIGN_OR_RETURN(e->case_operand, ParseExpr());
+    }
+    while (TryConsumeKeyword("WHEN")) {
+      CaseArm arm;
+      IDEA_ASSIGN_OR_RETURN(arm.when, ParseExpr());
+      IDEA_RETURN_NOT_OK(ExpectKeyword("THEN"));
+      IDEA_ASSIGN_OR_RETURN(arm.then, ParseExpr());
+      e->case_arms.push_back(std::move(arm));
+    }
+    if (e->case_arms.empty()) return Status(Err("CASE requires at least one WHEN"));
+    if (TryConsumeKeyword("ELSE")) {
+      IDEA_ASSIGN_OR_RETURN(e->case_else, ParseExpr());
+    }
+    IDEA_RETURN_NOT_OK(ExpectKeyword("END"));
+    return ExprPtr(std::move(e));
+  }
+
+  std::vector<Token> tokens_;
+  std::map<size_t, std::string> pending_hints_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& text) {
+  IDEA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser p(std::move(tokens));
+  return p.ParseOneStatement();
+}
+
+Result<std::vector<Statement>> ParseScript(const std::string& text) {
+  IDEA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser p(std::move(tokens));
+  return p.ParseAll();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  IDEA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser p(std::move(tokens));
+  return p.ParseStandaloneExpression();
+}
+
+}  // namespace idea::sqlpp

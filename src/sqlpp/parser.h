@@ -1,0 +1,29 @@
+// Recursive-descent parser for the SQL++ subset. Produces the AST in
+// sqlpp/ast.h. The accepted grammar covers every DDL/DML statement and
+// query/UDF body that appears in the paper, including:
+//   * flexible clause order (LET may precede SELECT; FROM-less blocks),
+//   * implicit projection aliases (`SELECT t.country Country`),
+//   * `expr.*` star projections,
+//   * `lib#function` native-UDF references,
+//   * `/*+ skip-index */` and `/*+ indexnl */` join hints on FROM items,
+//   * `FROM FEED <name>` conceptual feed datasources (Figure 14).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sqlpp/ast.h"
+
+namespace idea::sqlpp {
+
+/// Parses exactly one statement (trailing ';' optional).
+Result<Statement> ParseStatement(const std::string& text);
+
+/// Parses a ';'-separated statement script.
+Result<std::vector<Statement>> ParseScript(const std::string& text);
+
+/// Parses a standalone expression (used in tests).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace idea::sqlpp

@@ -1,0 +1,31 @@
+#include "storage/btree_index.h"
+
+namespace idea::storage {
+
+void BTreeIndex::Insert(const adm::Value& secondary_key, const adm::Value& primary_key) {
+  entries_.emplace(secondary_key, primary_key);
+}
+
+void BTreeIndex::Remove(const adm::Value& secondary_key, const adm::Value& primary_key) {
+  auto [lo, hi] = entries_.equal_range(secondary_key);
+  for (auto it = lo; it != hi; ++it) {
+    if (adm::Value::Compare(it->second, primary_key) == 0) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
+
+void BTreeIndex::SearchEquals(const adm::Value& key, std::vector<adm::Value>* out) const {
+  auto [lo, hi] = entries_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) out->push_back(it->second);
+}
+
+void BTreeIndex::SearchRange(const adm::Value& lo_key, const adm::Value& hi_key,
+                             std::vector<adm::Value>* out) const {
+  auto lo = entries_.lower_bound(lo_key);
+  auto hi = entries_.upper_bound(hi_key);
+  for (auto it = lo; it != hi; ++it) out->push_back(it->second);
+}
+
+}  // namespace idea::storage

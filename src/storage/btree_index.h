@@ -1,0 +1,38 @@
+// Secondary B-tree index: maps a secondary-key field value to the primary
+// keys of the records carrying it. Maintained synchronously with dataset
+// writes, so probes observe live data (the paper's index nested-loop joins
+// see reference-data updates mid-computing-job).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+
+namespace idea::storage {
+
+class BTreeIndex {
+ public:
+  explicit BTreeIndex(std::string field) : field_(std::move(field)) {}
+
+  const std::string& field() const { return field_; }
+
+  void Insert(const adm::Value& secondary_key, const adm::Value& primary_key);
+  void Remove(const adm::Value& secondary_key, const adm::Value& primary_key);
+
+  /// Appends primary keys whose secondary key equals `key`.
+  void SearchEquals(const adm::Value& key, std::vector<adm::Value>* out) const;
+
+  /// Appends primary keys with secondary key in [lo, hi] (inclusive).
+  void SearchRange(const adm::Value& lo, const adm::Value& hi,
+                   std::vector<adm::Value>* out) const;
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::string field_;
+  std::multimap<adm::Value, adm::Value> entries_;
+};
+
+}  // namespace idea::storage

@@ -1,0 +1,128 @@
+#include "storage/catalog.h"
+
+namespace idea::storage {
+
+Status Catalog::CreateDatatype(adm::Datatype datatype) {
+  std::unique_lock lock(mu_);
+  std::string name = datatype.name();
+  auto [it, inserted] = datatypes_.try_emplace(
+      name, std::make_unique<adm::Datatype>(std::move(datatype)));
+  if (!inserted) {
+    return Status::AlreadyExists("datatype '" + it->first + "' already exists");
+  }
+  return Status::OK();
+}
+
+const adm::Datatype* Catalog::FindDatatype(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = datatypes_.find(name);
+  return it == datatypes_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::CreateDataset(const std::string& name, const std::string& type_name,
+                              const std::string& primary_key, DatasetOptions options) {
+  std::unique_lock lock(mu_);
+  auto tit = datatypes_.find(type_name);
+  if (tit == datatypes_.end()) {
+    return Status::NotFound("unknown datatype '" + type_name + "'");
+  }
+  if (datasets_.count(name) > 0) {
+    return Status::AlreadyExists("dataset '" + name + "' already exists");
+  }
+  datasets_.emplace(name, std::make_shared<LsmDataset>(name, *tit->second, primary_key,
+                                                       options));
+  return Status::OK();
+}
+
+std::shared_ptr<LsmDataset> Catalog::FindDataset(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second;
+}
+
+Status Catalog::DropDataset(const std::string& name) {
+  std::unique_lock lock(mu_);
+  if (datasets_.erase(name) == 0) {
+    return Status::NotFound("unknown dataset '" + name + "'");
+  }
+  return Status::OK();
+}
+
+bool Catalog::HasDataset(const std::string& name) const {
+  std::shared_lock lock(mu_);
+  return datasets_.count(name) > 0;
+}
+
+std::vector<std::string> Catalog::DatasetNames() const {
+  std::shared_lock lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(datasets_.size());
+  for (const auto& [name, ds] : datasets_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+/// Live index probe bound to a dataset + field.
+class LsmIndexProbe : public sqlpp::IndexProbe {
+ public:
+  LsmIndexProbe(std::shared_ptr<LsmDataset> dataset, std::string field, Kind kind)
+      : dataset_(std::move(dataset)), field_(std::move(field)), kind_(kind) {}
+
+  Kind kind() const override { return kind_; }
+
+  Status ProbeEquals(const adm::Value& key, std::vector<adm::Value>* out) const override {
+    return dataset_->ProbeIndexEquals(field_, key, out);
+  }
+
+  Status ProbeMbr(const adm::Rectangle& query,
+                  std::vector<adm::Value>* out) const override {
+    return dataset_->ProbeIndexMbr(field_, query, out);
+  }
+
+ private:
+  std::shared_ptr<LsmDataset> dataset_;
+  std::string field_;
+  Kind kind_;
+};
+
+}  // namespace
+
+bool CatalogAccessor::HasDataset(const std::string& dataset) const {
+  return catalog_->HasDataset(dataset);
+}
+
+Result<sqlpp::Snapshot> CatalogAccessor::GetSnapshot(const std::string& dataset) {
+  if (cache_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = snapshots_.find(dataset);
+    if (it != snapshots_.end()) return it->second;
+  }
+  std::shared_ptr<LsmDataset> ds = catalog_->FindDataset(dataset);
+  if (ds == nullptr) return Status::NotFound("unknown dataset '" + dataset + "'");
+  sqlpp::Snapshot snap = ds->Scan();
+  if (cache_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshots_[dataset] = snap;
+  }
+  return snap;
+}
+
+std::shared_ptr<sqlpp::IndexProbe> CatalogAccessor::GetIndexProbe(
+    const std::string& dataset, const std::string& field) {
+  std::shared_ptr<LsmDataset> ds = catalog_->FindDataset(dataset);
+  if (ds == nullptr) return nullptr;
+  std::string kind = ds->IndexKindOn(field);
+  if (kind.empty()) return nullptr;
+  return std::make_shared<LsmIndexProbe>(std::move(ds), field,
+                                         kind == "rtree"
+                                             ? sqlpp::IndexProbe::Kind::kSpatial
+                                             : sqlpp::IndexProbe::Kind::kEquality);
+}
+
+void CatalogAccessor::BeginEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshots_.clear();
+}
+
+}  // namespace idea::storage

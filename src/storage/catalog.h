@@ -1,0 +1,69 @@
+// Catalog: named datatypes and datasets of one IDEA instance, plus the
+// CatalogAccessor that exposes them to the SQL++ engine (snapshots + live
+// index probes).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "adm/datatype.h"
+#include "common/status.h"
+#include "sqlpp/evaluator.h"
+#include "storage/lsm_dataset.h"
+
+namespace idea::storage {
+
+class Catalog {
+ public:
+  Status CreateDatatype(adm::Datatype datatype);
+  /// nullptr when unknown. Pointers stay valid for the catalog's lifetime
+  /// (datatypes are never dropped).
+  const adm::Datatype* FindDatatype(const std::string& name) const;
+
+  /// Creates a dataset of a previously created datatype.
+  Status CreateDataset(const std::string& name, const std::string& type_name,
+                       const std::string& primary_key,
+                       DatasetOptions options = DatasetOptions());
+  /// nullptr when unknown; shared ownership keeps in-flight readers safe
+  /// across a DropDataset.
+  std::shared_ptr<LsmDataset> FindDataset(const std::string& name) const;
+  Status DropDataset(const std::string& name);
+  bool HasDataset(const std::string& name) const;
+  std::vector<std::string> DatasetNames() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<adm::Datatype>> datatypes_;
+  std::map<std::string, std::shared_ptr<LsmDataset>> datasets_;
+};
+
+/// SQL++ DatasetAccessor over a Catalog.
+///
+/// Snapshot policy: with caching enabled, GetSnapshot serves one snapshot per
+/// dataset per epoch; BeginEpoch() invalidates. The enrichment pipeline runs
+/// one epoch per computing job — the paper's batch-consistency model. Index
+/// probes are always live.
+class CatalogAccessor : public sqlpp::DatasetAccessor {
+ public:
+  explicit CatalogAccessor(Catalog* catalog, bool cache_snapshots = false)
+      : catalog_(catalog), cache_(cache_snapshots) {}
+
+  bool HasDataset(const std::string& dataset) const override;
+  Result<sqlpp::Snapshot> GetSnapshot(const std::string& dataset) override;
+  std::shared_ptr<sqlpp::IndexProbe> GetIndexProbe(const std::string& dataset,
+                                                   const std::string& field) override;
+
+  /// Starts a new snapshot epoch (drops cached snapshots).
+  void BeginEpoch();
+
+ private:
+  Catalog* catalog_;
+  bool cache_;
+  std::mutex mu_;
+  std::map<std::string, sqlpp::Snapshot> snapshots_;
+};
+
+}  // namespace idea::storage

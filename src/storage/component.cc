@@ -1,0 +1,52 @@
+#include "storage/component.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace idea::storage {
+
+SortedComponent::SortedComponent(uint64_t id, std::vector<Row> rows)
+    : id_(id), rows_(std::move(rows)) {
+  for (size_t i = 0; i + 1 < rows_.size(); ++i) {
+    assert(adm::Value::Compare(rows_[i].first, rows_[i + 1].first) < 0 &&
+           "component rows must be strictly key-sorted");
+  }
+  for (const auto& [k, e] : rows_) {
+    bytes_ += k.EstimateSize() + e.record.EstimateSize() + 48;
+  }
+}
+
+std::shared_ptr<const SortedComponent> SortedComponent::FromMemTable(
+    uint64_t id, const MemTable& mem) {
+  std::vector<Row> rows;
+  rows.reserve(mem.entry_count());
+  for (const auto& [k, e] : mem.entries()) rows.emplace_back(k, e);
+  return std::make_shared<const SortedComponent>(id, std::move(rows));
+}
+
+std::shared_ptr<const SortedComponent> SortedComponent::Merge(
+    uint64_t id,
+    const std::vector<std::shared_ptr<const SortedComponent>>& oldest_first) {
+  // Oldest-to-newest overwrite merge. Tombstones survive the merge (a full
+  // compaction could drop them; kept so newer merges stay correct).
+  std::map<adm::Value, RecordEntry> merged;
+  for (const auto& comp : oldest_first) {
+    for (const auto& [k, e] : comp->rows()) merged[k] = e;
+  }
+  std::vector<Row> rows;
+  rows.reserve(merged.size());
+  for (auto& [k, e] : merged) rows.emplace_back(k, std::move(e));
+  return std::make_shared<const SortedComponent>(id, std::move(rows));
+}
+
+const RecordEntry* SortedComponent::Get(const adm::Value& key) const {
+  auto it = std::lower_bound(
+      rows_.begin(), rows_.end(), key, [](const Row& row, const adm::Value& k) {
+        return adm::Value::Compare(row.first, k) < 0;
+      });
+  if (it == rows_.end() || adm::Value::Compare(it->first, key) != 0) return nullptr;
+  return &it->second;
+}
+
+}  // namespace idea::storage

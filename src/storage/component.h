@@ -1,0 +1,44 @@
+// Immutable sorted LSM component ("disk component"): a frozen, key-ordered
+// run produced by flushing a memtable or merging older components.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "adm/value.h"
+#include "storage/memtable.h"
+
+namespace idea::storage {
+
+class SortedComponent {
+ public:
+  using Row = std::pair<adm::Value, RecordEntry>;
+
+  /// Builds from rows that must already be sorted by key (asserted in debug).
+  SortedComponent(uint64_t id, std::vector<Row> rows);
+
+  /// Builds by freezing a memtable.
+  static std::shared_ptr<const SortedComponent> FromMemTable(uint64_t id,
+                                                             const MemTable& mem);
+
+  /// Merges components (index 0 = oldest) into one run; newer entries win.
+  static std::shared_ptr<const SortedComponent> Merge(
+      uint64_t id,
+      const std::vector<std::shared_ptr<const SortedComponent>>& oldest_first);
+
+  /// Binary-search point lookup; nullptr when absent.
+  const RecordEntry* Get(const adm::Value& key) const;
+
+  uint64_t id() const { return id_; }
+  size_t size() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t ApproximateBytes() const { return bytes_; }
+
+ private:
+  uint64_t id_;
+  std::vector<Row> rows_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace idea::storage

@@ -1,0 +1,284 @@
+#include "storage/lsm_dataset.h"
+
+#include <map>
+
+namespace idea::storage {
+
+using adm::Value;
+
+LsmDataset::LsmDataset(std::string name, adm::Datatype datatype, std::string primary_key,
+                       DatasetOptions options)
+    : name_(std::move(name)),
+      datatype_(std::move(datatype)),
+      primary_key_(std::move(primary_key)),
+      options_(options) {
+  if (options_.enable_wal) wal_ = std::make_unique<Wal>();
+}
+
+Result<Value> LsmDataset::ExtractKey(const Value& record) const {
+  const Value* key = record.GetField(primary_key_);
+  if (key == nullptr || key->IsUnknown()) {
+    return Status::InvalidArgument("record for dataset '" + name_ +
+                                   "' lacks primary key field '" + primary_key_ + "'");
+  }
+  return *key;
+}
+
+const RecordEntry* LsmDataset::FindEntryLocked(const Value& key) const {
+  if (const RecordEntry* e = memtable_.Get(key)) return e;
+  for (auto it = components_.rbegin(); it != components_.rend(); ++it) {
+    if (const RecordEntry* e = (*it)->Get(key)) return e;
+  }
+  return nullptr;
+}
+
+void LsmDataset::IndexInsertLocked(const Value& record) {
+  const Value* pk = record.GetField(primary_key_);
+  for (auto& [field, slot] : indexes_) {
+    const Value* v = record.GetField(field);
+    if (v == nullptr || v->IsUnknown()) continue;
+    if (slot.btree != nullptr) slot.btree->Insert(*v, *pk);
+    if (slot.rtree != nullptr) slot.rtree->Insert(*v, *pk);
+  }
+}
+
+void LsmDataset::IndexRemoveLocked(const Value& record) {
+  const Value* pk = record.GetField(primary_key_);
+  for (auto& [field, slot] : indexes_) {
+    const Value* v = record.GetField(field);
+    if (v == nullptr || v->IsUnknown()) continue;
+    if (slot.btree != nullptr) slot.btree->Remove(*v, *pk);
+    if (slot.rtree != nullptr) slot.rtree->Remove(*v, *pk);
+  }
+}
+
+Status LsmDataset::WriteLocked(WalRecordType type, Value record) {
+  IDEA_ASSIGN_OR_RETURN(Value key, ExtractKey(record));
+  const RecordEntry* existing = FindEntryLocked(key);
+  bool live = existing != nullptr && !existing->tombstone;
+  switch (type) {
+    case WalRecordType::kInsert:
+      if (live) {
+        return Status::AlreadyExists("duplicate primary key " + key.ToString() +
+                                     " in dataset '" + name_ + "'");
+      }
+      break;
+    case WalRecordType::kUpsert:
+      break;
+    case WalRecordType::kDelete:
+      if (!live) {
+        return Status::NotFound("no record with key " + key.ToString() +
+                                " in dataset '" + name_ + "'");
+      }
+      break;
+  }
+  if (wal_ != nullptr) {
+    WalRecord wrec;
+    wrec.type = type;
+    wrec.seqno = next_seqno_;
+    wrec.key = key;
+    if (type != WalRecordType::kDelete) wrec.record = record;
+    IDEA_RETURN_NOT_OK(wal_->Append(wrec));
+  }
+  if (live) IndexRemoveLocked(existing->record);
+  RecordEntry entry;
+  entry.seqno = next_seqno_++;
+  entry.tombstone = type == WalRecordType::kDelete;
+  if (!entry.tombstone) {
+    IndexInsertLocked(record);
+    entry.record = std::move(record);
+  }
+  memtable_.Put(key, std::move(entry));
+  MaybeFlushLocked();
+  return Status::OK();
+}
+
+Status LsmDataset::Insert(Value record) {
+  IDEA_RETURN_NOT_OK(datatype_.ValidateAndCoerce(&record));
+  std::unique_lock lock(mu_);
+  ++stats_.inserts;
+  return WriteLocked(WalRecordType::kInsert, std::move(record));
+}
+
+Status LsmDataset::Upsert(Value record) {
+  IDEA_RETURN_NOT_OK(datatype_.ValidateAndCoerce(&record));
+  std::unique_lock lock(mu_);
+  ++stats_.upserts;
+  return WriteLocked(WalRecordType::kUpsert, std::move(record));
+}
+
+Status LsmDataset::Delete(const Value& key) {
+  std::unique_lock lock(mu_);
+  ++stats_.deletes;
+  Value stub = Value::MakeObject({{primary_key_, key}});
+  return WriteLocked(WalRecordType::kDelete, std::move(stub));
+}
+
+Result<Value> LsmDataset::Get(const Value& key) const {
+  std::shared_lock lock(mu_);
+  ++stats_.point_lookups;
+  const RecordEntry* e = FindEntryLocked(key);
+  if (e == nullptr || e->tombstone) {
+    return Status::NotFound("no record with key " + key.ToString() + " in dataset '" +
+                            name_ + "'");
+  }
+  return e->record;
+}
+
+std::shared_ptr<const std::vector<Value>> LsmDataset::Scan() const {
+  std::shared_lock lock(mu_);
+  ++stats_.scans;
+  // Merge oldest -> newest so later versions overwrite.
+  std::map<Value, const RecordEntry*> merged;
+  for (const auto& comp : components_) {
+    for (const auto& [k, e] : comp->rows()) merged[k] = &e;
+  }
+  for (const auto& [k, e] : memtable_.entries()) merged[k] = &e;
+  auto out = std::make_shared<std::vector<Value>>();
+  out->reserve(merged.size());
+  for (const auto& [k, e] : merged) {
+    if (!e->tombstone) out->push_back(e->record);
+  }
+  return out;
+}
+
+size_t LsmDataset::LiveRecordCount() const { return Scan()->size(); }
+
+Status LsmDataset::CreateIndex(const std::string& index_name, const std::string& field,
+                               const std::string& kind) {
+  std::unique_lock lock(mu_);
+  if (indexes_.count(field) > 0) {
+    return Status::AlreadyExists("index already exists on field '" + field +
+                                 "' of dataset '" + name_ + "'");
+  }
+  IndexSlot slot;
+  slot.name = index_name;
+  if (kind == "btree") {
+    slot.btree = std::make_unique<BTreeIndex>(field);
+  } else if (kind == "rtree") {
+    slot.rtree = std::make_unique<RTreeIndex>(field);
+  } else {
+    return Status::InvalidArgument("unknown index kind '" + kind + "'");
+  }
+  // Build from existing live records.
+  std::map<Value, const RecordEntry*> merged;
+  for (const auto& comp : components_) {
+    for (const auto& [k, e] : comp->rows()) merged[k] = &e;
+  }
+  for (const auto& [k, e] : memtable_.entries()) merged[k] = &e;
+  for (const auto& [k, e] : merged) {
+    if (e->tombstone) continue;
+    const Value* v = e->record.GetField(field);
+    if (v == nullptr || v->IsUnknown()) continue;
+    if (slot.btree != nullptr) slot.btree->Insert(*v, k);
+    if (slot.rtree != nullptr) slot.rtree->Insert(*v, k);
+  }
+  indexes_.emplace(field, std::move(slot));
+  return Status::OK();
+}
+
+bool LsmDataset::HasIndexOn(const std::string& field, bool spatial) const {
+  std::shared_lock lock(mu_);
+  auto it = indexes_.find(field);
+  if (it == indexes_.end()) return false;
+  return spatial ? it->second.rtree != nullptr : it->second.btree != nullptr;
+}
+
+std::string LsmDataset::IndexKindOn(const std::string& field) const {
+  std::shared_lock lock(mu_);
+  auto it = indexes_.find(field);
+  if (it == indexes_.end()) return "";
+  return it->second.btree != nullptr ? "btree" : "rtree";
+}
+
+Status LsmDataset::ProbeIndexEquals(const std::string& field, const Value& key,
+                                    std::vector<Value>* out) const {
+  std::shared_lock lock(mu_);
+  ++stats_.index_probes;
+  auto it = indexes_.find(field);
+  if (it == indexes_.end() || it->second.btree == nullptr) {
+    return Status::NotFound("no btree index on field '" + field + "' of dataset '" +
+                            name_ + "'");
+  }
+  std::vector<Value> pks;
+  it->second.btree->SearchEquals(key, &pks);
+  for (const Value& pk : pks) {
+    const RecordEntry* e = FindEntryLocked(pk);
+    if (e != nullptr && !e->tombstone) out->push_back(e->record);
+  }
+  return Status::OK();
+}
+
+Status LsmDataset::ProbeIndexMbr(const std::string& field, const adm::Rectangle& query,
+                                 std::vector<Value>* out) const {
+  std::shared_lock lock(mu_);
+  ++stats_.index_probes;
+  auto it = indexes_.find(field);
+  if (it == indexes_.end() || it->second.rtree == nullptr) {
+    return Status::NotFound("no rtree index on field '" + field + "' of dataset '" +
+                            name_ + "'");
+  }
+  std::vector<Value> pks;
+  it->second.rtree->Search(query, &pks);
+  for (const Value& pk : pks) {
+    const RecordEntry* e = FindEntryLocked(pk);
+    if (e != nullptr && !e->tombstone) out->push_back(e->record);
+  }
+  return Status::OK();
+}
+
+void LsmDataset::MaybeFlushLocked() {
+  if (memtable_.ApproximateBytes() < options_.memtable_bytes) return;
+  components_.push_back(SortedComponent::FromMemTable(next_component_id_++, memtable_));
+  memtable_.Clear();
+  ++stats_.flushes;
+  if (components_.size() > options_.compaction_threshold) {
+    auto merged = SortedComponent::Merge(next_component_id_++, components_);
+    components_.clear();
+    components_.push_back(std::move(merged));
+    ++stats_.compactions;
+  }
+}
+
+Status LsmDataset::FlushMemTable() {
+  std::unique_lock lock(mu_);
+  if (memtable_.empty()) return Status::OK();
+  components_.push_back(SortedComponent::FromMemTable(next_component_id_++, memtable_));
+  memtable_.Clear();
+  ++stats_.flushes;
+  return Status::OK();
+}
+
+Status LsmDataset::FlushWal() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Flush();
+}
+
+DatasetStats LsmDataset::stats() const {
+  DatasetStats out;
+  out.inserts = stats_.inserts.load();
+  out.upserts = stats_.upserts.load();
+  out.deletes = stats_.deletes.load();
+  out.point_lookups = stats_.point_lookups.load();
+  out.scans = stats_.scans.load();
+  out.flushes = stats_.flushes.load();
+  out.compactions = stats_.compactions.load();
+  out.index_probes = stats_.index_probes.load();
+  return out;
+}
+
+WalStats LsmDataset::wal_stats() const {
+  return wal_ != nullptr ? wal_->stats() : WalStats{};
+}
+
+size_t LsmDataset::ComponentCount() const {
+  std::shared_lock lock(mu_);
+  return components_.size();
+}
+
+size_t LsmDataset::MemTableBytes() const {
+  std::shared_lock lock(mu_);
+  return memtable_.ApproximateBytes();
+}
+
+}  // namespace idea::storage

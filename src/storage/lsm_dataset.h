@@ -1,0 +1,135 @@
+// LsmDataset: one dataset (record collection keyed by primary key) stored as
+// an LSM tree — a mutable memtable plus immutable sorted components — with
+// optional WAL durability and synchronously-maintained secondary indexes
+// (B-tree and R-tree). Mirrors AsterixDB's storage layer as the paper
+// describes it (§7.3): updates activate the in-memory component and change
+// the read path of every concurrent enrichment job.
+//
+// Thread safety: all public methods are safe for concurrent use
+// (shared_mutex; writers exclusive, readers shared).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adm/datatype.h"
+#include "adm/value.h"
+#include "common/status.h"
+#include "storage/btree_index.h"
+#include "storage/component.h"
+#include "storage/memtable.h"
+#include "storage/rtree_index.h"
+#include "storage/wal.h"
+
+namespace idea::storage {
+
+struct DatasetOptions {
+  /// Memtable flush threshold.
+  size_t memtable_bytes = 4u << 20;
+  /// Full-merge compaction trigger (number of immutable components).
+  size_t compaction_threshold = 8;
+  /// Attach an in-memory WAL (durability cost accounting).
+  bool enable_wal = true;
+};
+
+struct DatasetStats {
+  uint64_t inserts = 0;
+  uint64_t upserts = 0;
+  uint64_t deletes = 0;
+  uint64_t point_lookups = 0;
+  uint64_t scans = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t index_probes = 0;
+};
+
+class LsmDataset {
+ public:
+  LsmDataset(std::string name, adm::Datatype datatype, std::string primary_key,
+             DatasetOptions options = DatasetOptions());
+
+  const std::string& name() const { return name_; }
+  const adm::Datatype& datatype() const { return datatype_; }
+  const std::string& primary_key() const { return primary_key_; }
+
+  /// Validates against the datatype (coercing extended types), then inserts.
+  /// Fails with AlreadyExists if the key is live.
+  Status Insert(adm::Value record);
+
+  /// Insert-or-replace (the paper's UPSERT).
+  Status Upsert(adm::Value record);
+
+  /// Deletes by primary key; NotFound when absent.
+  Status Delete(const adm::Value& key);
+
+  /// Point lookup by primary key.
+  Result<adm::Value> Get(const adm::Value& key) const;
+
+  /// Consistent snapshot of all live records (key order).
+  std::shared_ptr<const std::vector<adm::Value>> Scan() const;
+
+  size_t LiveRecordCount() const;
+
+  /// Creates a secondary index over `field` ("btree" or "rtree") and builds
+  /// it from existing records.
+  Status CreateIndex(const std::string& index_name, const std::string& field,
+                     const std::string& kind);
+  bool HasIndexOn(const std::string& field, bool spatial) const;
+  /// "btree", "rtree", or "" when no index exists on the field.
+  std::string IndexKindOn(const std::string& field) const;
+
+  /// Live index probes (see the paper's index nested-loop discussion).
+  Status ProbeIndexEquals(const std::string& field, const adm::Value& key,
+                          std::vector<adm::Value>* out) const;
+  Status ProbeIndexMbr(const std::string& field, const adm::Rectangle& query,
+                       std::vector<adm::Value>* out) const;
+
+  /// Forces a memtable flush (testing / shutdown).
+  Status FlushMemTable();
+  /// Group-commits the WAL; storage jobs call this once per stored batch.
+  Status FlushWal();
+
+  DatasetStats stats() const;
+  WalStats wal_stats() const;
+  size_t ComponentCount() const;
+  size_t MemTableBytes() const;
+
+ private:
+  struct IndexSlot {
+    std::string name;
+    std::unique_ptr<BTreeIndex> btree;
+    std::unique_ptr<RTreeIndex> rtree;
+  };
+
+  // All Locked* helpers require mu_ held exclusively.
+  Status WriteLocked(WalRecordType type, adm::Value record);
+  const RecordEntry* FindEntryLocked(const adm::Value& key) const;
+  void IndexInsertLocked(const adm::Value& record);
+  void IndexRemoveLocked(const adm::Value& record);
+  void MaybeFlushLocked();
+  Result<adm::Value> ExtractKey(const adm::Value& record) const;
+
+  std::string name_;
+  adm::Datatype datatype_;
+  std::string primary_key_;
+  DatasetOptions options_;
+
+  mutable std::shared_mutex mu_;
+  MemTable memtable_;
+  std::vector<std::shared_ptr<const SortedComponent>> components_;  // oldest first
+  std::unordered_map<std::string, IndexSlot> indexes_;              // by field
+  std::unique_ptr<Wal> wal_;
+  uint64_t next_seqno_ = 1;
+  uint64_t next_component_id_ = 1;
+  struct AtomicStats {
+    std::atomic<uint64_t> inserts{0}, upserts{0}, deletes{0}, point_lookups{0},
+        scans{0}, flushes{0}, compactions{0}, index_probes{0};
+  };
+  mutable AtomicStats stats_;
+};
+
+}  // namespace idea::storage

@@ -1,0 +1,27 @@
+#include "storage/memtable.h"
+
+namespace idea::storage {
+
+void MemTable::Put(const adm::Value& key, RecordEntry entry) {
+  size_t add = key.EstimateSize() + entry.record.EstimateSize() + 48;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= key.EstimateSize() + it->second.record.EstimateSize() + 48;
+    it->second = std::move(entry);
+  } else {
+    entries_.emplace(key, std::move(entry));
+  }
+  bytes_ += add;
+}
+
+const RecordEntry* MemTable::Get(const adm::Value& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void MemTable::Clear() {
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace idea::storage

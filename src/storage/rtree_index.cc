@@ -1,0 +1,392 @@
+#include "storage/rtree_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace idea::storage {
+
+using adm::MbrArea;
+using adm::MbrUnion;
+using adm::Rectangle;
+using adm::RectIntersectsRect;
+using adm::Value;
+using adm::ValueMbr;
+
+struct RTreeIndex::Entry {
+  Rectangle mbr;
+  Value pk;
+};
+
+struct RTreeIndex::Node {
+  bool leaf = true;
+  Rectangle mbr{{0, 0}, {0, 0}};
+  Node* parent = nullptr;
+  std::vector<Entry> entries;                    // leaf payload
+  std::vector<std::unique_ptr<Node>> children;   // internal payload
+
+  size_t fanout() const { return leaf ? entries.size() : children.size(); }
+};
+
+namespace {
+
+double Enlargement(const Rectangle& mbr, const Rectangle& add) {
+  return MbrArea(MbrUnion(mbr, add)) - MbrArea(mbr);
+}
+
+// Quadratic pick-seeds over a set of rectangles: the pair wasting the most
+// area when grouped together.
+std::pair<size_t, size_t> PickSeeds(const std::vector<Rectangle>& mbrs) {
+  double worst = -std::numeric_limits<double>::infinity();
+  std::pair<size_t, size_t> seeds{0, 1};
+  for (size_t i = 0; i < mbrs.size(); ++i) {
+    for (size_t j = i + 1; j < mbrs.size(); ++j) {
+      double waste = MbrArea(MbrUnion(mbrs[i], mbrs[j])) - MbrArea(mbrs[i]) -
+                     MbrArea(mbrs[j]);
+      if (waste > worst) {
+        worst = waste;
+        seeds = {i, j};
+      }
+    }
+  }
+  return seeds;
+}
+
+// Distributes item indices into two groups using Guttman's quadratic
+// algorithm; honors the minimum fill by force-assigning stragglers.
+void QuadraticDistribute(const std::vector<Rectangle>& mbrs, size_t min_entries,
+                         std::vector<size_t>* group_a, std::vector<size_t>* group_b) {
+  auto [sa, sb] = PickSeeds(mbrs);
+  group_a->push_back(sa);
+  group_b->push_back(sb);
+  Rectangle mbr_a = mbrs[sa];
+  Rectangle mbr_b = mbrs[sb];
+  std::vector<bool> assigned(mbrs.size(), false);
+  assigned[sa] = assigned[sb] = true;
+  size_t remaining = mbrs.size() - 2;
+  while (remaining > 0) {
+    // Force assignment when one group must take everything left to reach the
+    // minimum fill.
+    if (group_a->size() + remaining == min_entries) {
+      for (size_t i = 0; i < mbrs.size(); ++i) {
+        if (!assigned[i]) {
+          group_a->push_back(i);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    if (group_b->size() + remaining == min_entries) {
+      for (size_t i = 0; i < mbrs.size(); ++i) {
+        if (!assigned[i]) {
+          group_b->push_back(i);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    // Pick-next: the item with the largest preference for one group.
+    size_t best = 0;
+    double best_diff = -1;
+    for (size_t i = 0; i < mbrs.size(); ++i) {
+      if (assigned[i]) continue;
+      double d = std::abs(Enlargement(mbr_a, mbrs[i]) - Enlargement(mbr_b, mbrs[i]));
+      if (d > best_diff) {
+        best_diff = d;
+        best = i;
+      }
+    }
+    double ea = Enlargement(mbr_a, mbrs[best]);
+    double eb = Enlargement(mbr_b, mbrs[best]);
+    bool to_a = ea < eb || (ea == eb && group_a->size() <= group_b->size());
+    if (to_a) {
+      group_a->push_back(best);
+      mbr_a = MbrUnion(mbr_a, mbrs[best]);
+    } else {
+      group_b->push_back(best);
+      mbr_b = MbrUnion(mbr_b, mbrs[best]);
+    }
+    assigned[best] = true;
+    --remaining;
+  }
+}
+
+}  // namespace
+
+RTreeIndex::RTreeIndex(std::string field, size_t max_entries)
+    : field_(std::move(field)),
+      max_entries_(std::max<size_t>(4, max_entries)),
+      min_entries_(std::max<size_t>(2, max_entries_ / 4)),
+      root_(std::make_unique<Node>()) {}
+
+RTreeIndex::~RTreeIndex() = default;
+
+void RTreeIndex::RecomputeMbr(Node* node) {
+  if (node->leaf) {
+    if (node->entries.empty()) {
+      node->mbr = Rectangle{{0, 0}, {0, 0}};
+      return;
+    }
+    node->mbr = node->entries[0].mbr;
+    for (const auto& e : node->entries) node->mbr = MbrUnion(node->mbr, e.mbr);
+  } else {
+    if (node->children.empty()) {
+      node->mbr = Rectangle{{0, 0}, {0, 0}};
+      return;
+    }
+    node->mbr = node->children[0]->mbr;
+    for (const auto& c : node->children) node->mbr = MbrUnion(node->mbr, c->mbr);
+  }
+}
+
+RTreeIndex::Node* RTreeIndex::ChooseLeaf(Node* node, const Rectangle& mbr) const {
+  while (!node->leaf) {
+    Node* best = nullptr;
+    double best_enlarge = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (const auto& c : node->children) {
+      double e = Enlargement(c->mbr, mbr);
+      double a = MbrArea(c->mbr);
+      if (e < best_enlarge || (e == best_enlarge && a < best_area)) {
+        best = c.get();
+        best_enlarge = e;
+        best_area = a;
+      }
+    }
+    node = best;
+  }
+  return node;
+}
+
+void RTreeIndex::SplitNode(Node* node) {
+  std::vector<Rectangle> mbrs;
+  if (node->leaf) {
+    for (const auto& e : node->entries) mbrs.push_back(e.mbr);
+  } else {
+    for (const auto& c : node->children) mbrs.push_back(c->mbr);
+  }
+  std::vector<size_t> ga, gb;
+  QuadraticDistribute(mbrs, min_entries_, &ga, &gb);
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+  if (node->leaf) {
+    std::vector<Entry> keep, move;
+    std::vector<bool> in_b(node->entries.size(), false);
+    for (size_t i : gb) in_b[i] = true;
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      (in_b[i] ? move : keep).push_back(std::move(node->entries[i]));
+    }
+    node->entries = std::move(keep);
+    sibling->entries = std::move(move);
+  } else {
+    std::vector<std::unique_ptr<Node>> keep, move;
+    std::vector<bool> in_b(node->children.size(), false);
+    for (size_t i : gb) in_b[i] = true;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      (in_b[i] ? move : keep).push_back(std::move(node->children[i]));
+    }
+    node->children = std::move(keep);
+    sibling->children = std::move(move);
+    for (auto& c : sibling->children) c->parent = sibling.get();
+  }
+  RecomputeMbr(node);
+  RecomputeMbr(sibling.get());
+
+  if (node->parent == nullptr) {
+    // Grow a new root.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    auto old_root = std::move(root_);
+    old_root->parent = new_root.get();
+    sibling->parent = new_root.get();
+    new_root->children.push_back(std::move(old_root));
+    new_root->children.push_back(std::move(sibling));
+    RecomputeMbr(new_root.get());
+    root_ = std::move(new_root);
+    return;
+  }
+  Node* parent = node->parent;
+  sibling->parent = parent;
+  parent->children.push_back(std::move(sibling));
+  RecomputeMbr(parent);
+  if (parent->fanout() > max_entries_) SplitNode(parent);
+}
+
+void RTreeIndex::AdjustUpward(Node* node) {
+  while (node != nullptr) {
+    RecomputeMbr(node);
+    node = node->parent;
+  }
+}
+
+void RTreeIndex::Insert(const Value& geometry, const Value& primary_key) {
+  Rectangle mbr;
+  if (!ValueMbr(geometry, &mbr)) return;
+  Node* leaf = ChooseLeaf(root_.get(), mbr);
+  leaf->entries.push_back(Entry{mbr, primary_key});
+  ++size_;
+  if (leaf->entries.size() > max_entries_) {
+    SplitNode(leaf);  // split recomputes MBRs locally...
+    AdjustUpward(leaf->parent);
+  } else {
+    AdjustUpward(leaf);
+  }
+}
+
+bool RTreeIndex::Remove(const Value& geometry, const Value& primary_key) {
+  Rectangle mbr;
+  if (!ValueMbr(geometry, &mbr)) return false;
+  // Find the leaf holding the entry.
+  Node* found_leaf = nullptr;
+  size_t found_idx = 0;
+  std::vector<Node*> stack{root_.get()};
+  while (!stack.empty() && found_leaf == nullptr) {
+    Node* node = stack.back();
+    stack.pop_back();
+    if (!RectIntersectsRect(node->mbr, mbr) && node->fanout() > 0) continue;
+    if (node->leaf) {
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        const Entry& e = node->entries[i];
+        if (e.mbr.lo == mbr.lo && e.mbr.hi == mbr.hi &&
+            Value::Compare(e.pk, primary_key) == 0) {
+          found_leaf = node;
+          found_idx = i;
+          break;
+        }
+      }
+    } else {
+      for (const auto& c : node->children) stack.push_back(c.get());
+    }
+  }
+  if (found_leaf == nullptr) return false;
+  found_leaf->entries.erase(found_leaf->entries.begin() +
+                            static_cast<ptrdiff_t>(found_idx));
+  --size_;
+
+  // Condense: when a non-root node underflows, dissolve it and reinsert its
+  // remaining entries (Guttman's CondenseTree).
+  std::vector<Entry> orphans;
+  Node* node = found_leaf;
+  while (node->parent != nullptr && node->fanout() < min_entries_) {
+    Node* parent = node->parent;
+    // Collect all leaf entries below `node`.
+    std::vector<Node*> walk{node};
+    while (!walk.empty()) {
+      Node* n = walk.back();
+      walk.pop_back();
+      if (n->leaf) {
+        for (auto& e : n->entries) orphans.push_back(std::move(e));
+      } else {
+        for (const auto& c : n->children) walk.push_back(c.get());
+      }
+    }
+    auto it = std::find_if(parent->children.begin(), parent->children.end(),
+                           [&](const std::unique_ptr<Node>& c) { return c.get() == node; });
+    assert(it != parent->children.end());
+    parent->children.erase(it);
+    node = parent;
+  }
+  AdjustUpward(node);
+
+  // Collapse a root with a single internal child.
+  while (!root_->leaf && root_->children.size() == 1) {
+    root_ = std::move(root_->children[0]);
+    root_->parent = nullptr;
+  }
+  if (!root_->leaf && root_->children.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+
+  size_ -= orphans.size();
+  for (auto& e : orphans) {
+    Node* leaf = ChooseLeaf(root_.get(), e.mbr);
+    leaf->entries.push_back(std::move(e));
+    ++size_;
+    if (leaf->entries.size() > max_entries_) {
+      SplitNode(leaf);
+      AdjustUpward(leaf->parent);
+    } else {
+      AdjustUpward(leaf);
+    }
+  }
+  return true;
+}
+
+void RTreeIndex::Search(const Rectangle& query, std::vector<Value>* out) const {
+  if (size_ == 0) return;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (!RectIntersectsRect(node->mbr, query)) continue;
+    if (node->leaf) {
+      for (const auto& e : node->entries) {
+        if (RectIntersectsRect(e.mbr, query)) out->push_back(e.pk);
+      }
+    } else {
+      for (const auto& c : node->children) stack.push_back(c.get());
+    }
+  }
+}
+
+size_t RTreeIndex::Height() const {
+  if (size_ == 0) return 0;
+  size_t h = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    ++h;
+    node = node->children[0].get();
+  }
+  return h;
+}
+
+bool RTreeIndex::CheckInvariants() const {
+  // Uniform leaf depth, fan-out bounds (non-root), exact MBRs.
+  struct Frame {
+    const Node* node;
+    size_t depth;
+  };
+  size_t leaf_depth = 0;
+  bool leaf_seen = false;
+  size_t counted = 0;
+  std::vector<Frame> stack{{root_.get(), 0}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (node != root_.get()) {
+      if (node->fanout() < min_entries_ || node->fanout() > max_entries_) return false;
+    } else if (node->fanout() > max_entries_) {
+      return false;
+    }
+    Rectangle want{{0, 0}, {0, 0}};
+    bool first = true;
+    if (node->leaf) {
+      if (leaf_seen && depth != leaf_depth) return false;
+      leaf_seen = true;
+      leaf_depth = depth;
+      counted += node->entries.size();
+      for (const auto& e : node->entries) {
+        want = first ? e.mbr : MbrUnion(want, e.mbr);
+        first = false;
+      }
+    } else {
+      if (node->children.empty()) return false;
+      for (const auto& c : node->children) {
+        if (c->parent != node) return false;
+        want = first ? c->mbr : MbrUnion(want, c->mbr);
+        first = false;
+        stack.push_back({c.get(), depth + 1});
+      }
+    }
+    if (!first) {
+      if (want.lo.x != node->mbr.lo.x || want.lo.y != node->mbr.lo.y ||
+          want.hi.x != node->mbr.hi.x || want.hi.y != node->mbr.hi.y) {
+        return false;
+      }
+    }
+  }
+  return counted == size_;
+}
+
+}  // namespace idea::storage

@@ -1,0 +1,59 @@
+// Secondary R-tree index over a geometry field (point/rectangle/circle),
+// keyed by minimum bounding rectangles. Quadratic-split Guttman R-tree.
+// Backs the index nested-loop spatial joins of the Nearby Monuments /
+// Suspicious Names / Worrisome Tweets use cases.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adm/spatial.h"
+#include "adm/value.h"
+
+namespace idea::storage {
+
+class RTreeIndex {
+ public:
+  /// `field`: the indexed geometry field. Fan-out limits follow Guttman's
+  /// defaults scaled down for testability.
+  explicit RTreeIndex(std::string field, size_t max_entries = 16);
+  ~RTreeIndex();
+
+  const std::string& field() const { return field_; }
+
+  /// Indexes `primary_key` under the MBR of `geometry`. Non-geometry values
+  /// are ignored (open datatypes may carry anything).
+  void Insert(const adm::Value& geometry, const adm::Value& primary_key);
+
+  /// Removes one entry matching both the geometry's MBR and the primary key.
+  /// Returns false when no such entry exists.
+  bool Remove(const adm::Value& geometry, const adm::Value& primary_key);
+
+  /// Appends primary keys whose indexed MBR intersects `query`.
+  void Search(const adm::Rectangle& query, std::vector<adm::Value>* out) const;
+
+  size_t size() const { return size_; }
+  /// Tree height (0 for an empty tree); exposed for structural tests.
+  size_t Height() const;
+  /// Validates R-tree invariants (MBR containment, fan-out bounds, uniform
+  /// leaf depth); exposed for property tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Entry;
+  struct Node;
+
+  Node* ChooseLeaf(Node* node, const adm::Rectangle& mbr) const;
+  void SplitNode(Node* node);
+  void AdjustUpward(Node* node);
+  static void RecomputeMbr(Node* node);
+
+  std::string field_;
+  size_t max_entries_;
+  size_t min_entries_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace idea::storage

@@ -1,0 +1,403 @@
+#include "workload/native_udfs.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "adm/spatial.h"
+#include "common/string_util.h"
+#include "workload/tweets.h"
+
+namespace idea::workload {
+
+using adm::Value;
+
+namespace {
+
+Status WriteLines(const std::string& path, const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return Status::Internal("cannot write resource file '" + path + "'");
+  for (const auto& l : lines) out << l << "\n";
+  out.flush();
+  if (!out.good()) return Status::Internal("failed writing resource file '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::NotFound("cannot open resource file '" + path + "'");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string FieldStr(const Value& rec, const char* name) {
+  const Value* v = rec.GetField(name);
+  return v != nullptr && v->IsString() ? v->AsString() : "";
+}
+
+// --- stateless UDFs ---------------------------------------------------------
+
+/// Figure 35: strips non-alphabetic characters and lower-cases.
+class RemoveSpecialUdf : public feed::NativeUdf {
+ public:
+  Result<Value> Evaluate(const std::vector<Value>& args) override {
+    if (args.size() != 1 || !args[0].IsString()) {
+      return Status::TypeMismatch("removeSpecial expects (string)");
+    }
+    return Value::MakeString(ToLowerAscii(RemoveNonAlpha(args[0].AsString())));
+  }
+};
+
+/// Figure 5 (Java UDF 1): flags US tweets containing "bomb".
+class UsTweetSafetyCheckUdf : public feed::NativeUdf {
+ public:
+  Result<Value> Evaluate(const std::vector<Value>& args) override {
+    if (args.size() != 1 || !args[0].IsObject()) {
+      return Status::TypeMismatch("usTweetSafetyCheck expects (object)");
+    }
+    Value out = args[0];
+    const Value& country = out.GetFieldOrMissing("country");
+    const Value& text = out.GetFieldOrMissing("text");
+    bool red = country.IsString() && country.AsString() == "US" && text.IsString() &&
+               Contains(text.AsString(), "bomb");
+    out.SetField("safety_check_flag", Value::MakeString(red ? "Red" : "Green"));
+    return out;
+  }
+};
+
+// --- stateful UDFs (resource-file loading, Figure 7 lifecycle) --------------
+
+class ResourceUdf : public feed::NativeUdf {
+ public:
+  explicit ResourceUdf(std::string path) : path_(std::move(path)) {}
+  bool stateful() const override { return true; }
+
+ protected:
+  std::string path_;
+};
+
+/// Figure 7 (Java UDF 2): country -> keyword list; flags matching tweets.
+class TweetSafetyCheckUdf : public ResourceUdf {
+ public:
+  using ResourceUdf::ResourceUdf;
+  Status Initialize(const std::string& node_id) override {
+    (void)node_id;
+    keywords_.clear();
+    IDEA_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path_));
+    for (const auto& line : lines) {
+      std::vector<std::string> items = SplitString(line, '|');
+      if (items.size() != 3) continue;  // wid|country|word
+      keywords_[items[1]].push_back(items[2]);
+    }
+    return Status::OK();
+  }
+  Result<Value> Evaluate(const std::vector<Value>& args) override {
+    if (args.size() != 1 || !args[0].IsObject()) {
+      return Status::TypeMismatch("tweetSafetyCheck expects (object)");
+    }
+    Value out = args[0];
+    std::string country = FieldStr(out, "country");
+    std::string text = FieldStr(out, "text");
+    bool red = false;
+    auto it = keywords_.find(country);
+    if (it != keywords_.end()) {
+      for (const auto& kw : it->second) {
+        if (Contains(text, kw)) {
+          red = true;
+          break;
+        }
+      }
+    }
+    out.SetField("safety_check_flag", Value::MakeString(red ? "Red" : "Green"));
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> keywords_;
+};
+
+/// Java analog of enrichTweetQ1: country -> safety rating.
+class SafetyRatingUdf : public ResourceUdf {
+ public:
+  using ResourceUdf::ResourceUdf;
+  Status Initialize(const std::string& node_id) override {
+    (void)node_id;
+    ratings_.clear();
+    IDEA_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path_));
+    for (const auto& line : lines) {
+      std::vector<std::string> items = SplitString(line, '|');
+      if (items.size() == 2) ratings_[items[0]] = items[1];
+    }
+    return Status::OK();
+  }
+  Result<Value> Evaluate(const std::vector<Value>& args) override {
+    if (args.size() != 1 || !args[0].IsObject()) {
+      return Status::TypeMismatch("safetyRating expects (object)");
+    }
+    Value out = args[0];
+    adm::Array rating;
+    auto it = ratings_.find(FieldStr(out, "country"));
+    if (it != ratings_.end()) rating.push_back(Value::MakeString(it->second));
+    out.SetField("safety_rating", Value::MakeArray(std::move(rating)));
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> ratings_;
+};
+
+/// Java analog of enrichTweetQ2: country -> total religious population.
+class ReligiousPopulationUdf : public ResourceUdf {
+ public:
+  using ResourceUdf::ResourceUdf;
+  Status Initialize(const std::string& node_id) override {
+    (void)node_id;
+    totals_.clear();
+    IDEA_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path_));
+    for (const auto& line : lines) {
+      std::vector<std::string> items = SplitString(line, '|');
+      if (items.size() != 4) continue;  // rid|country|religion|population
+      totals_[items[1]] += std::strtoll(items[3].c_str(), nullptr, 10);
+    }
+    return Status::OK();
+  }
+  Result<Value> Evaluate(const std::vector<Value>& args) override {
+    if (args.size() != 1 || !args[0].IsObject()) {
+      return Status::TypeMismatch("religiousPopulation expects (object)");
+    }
+    Value out = args[0];
+    auto it = totals_.find(FieldStr(out, "country"));
+    out.SetField("religious_population",
+                 it == totals_.end() ? Value::MakeNull() : Value::MakeInt(it->second));
+    return out;
+  }
+
+ private:
+  std::map<std::string, long long> totals_;
+};
+
+/// Java analog of enrichTweetQ3: country -> three religions by population
+/// (the appendix query's ORDER BY r.population LIMIT 3 ordering).
+class LargestReligionsUdf : public ResourceUdf {
+ public:
+  using ResourceUdf::ResourceUdf;
+  Status Initialize(const std::string& node_id) override {
+    (void)node_id;
+    by_country_.clear();
+    IDEA_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path_));
+    std::map<std::string, std::vector<std::pair<long long, std::string>>> tmp;
+    for (const auto& line : lines) {
+      std::vector<std::string> items = SplitString(line, '|');
+      if (items.size() != 4) continue;
+      tmp[items[1]].emplace_back(std::strtoll(items[3].c_str(), nullptr, 10), items[2]);
+    }
+    for (auto& [country, entries] : tmp) {
+      std::sort(entries.begin(), entries.end());
+      std::vector<std::string> top;
+      for (size_t i = 0; i < entries.size() && i < 3; ++i) top.push_back(entries[i].second);
+      by_country_[country] = std::move(top);
+    }
+    return Status::OK();
+  }
+  Result<Value> Evaluate(const std::vector<Value>& args) override {
+    if (args.size() != 1 || !args[0].IsObject()) {
+      return Status::TypeMismatch("largestReligions expects (object)");
+    }
+    Value out = args[0];
+    adm::Array religions;
+    auto it = by_country_.find(FieldStr(out, "country"));
+    if (it != by_country_.end()) {
+      for (const auto& r : it->second) religions.push_back(Value::MakeString(r));
+    }
+    out.SetField("largest_religions", Value::MakeArray(std::move(religions)));
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::vector<std::string>> by_country_;
+};
+
+/// Java analog of annotateTweetQ4: fuzzy-matches cleaned screen names
+/// against the suspect list (edit distance < 5).
+class FuzzySuspectsUdf : public ResourceUdf {
+ public:
+  using ResourceUdf::ResourceUdf;
+  Status Initialize(const std::string& node_id) override {
+    (void)node_id;
+    suspects_.clear();
+    IDEA_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path_));
+    for (const auto& line : lines) {
+      std::vector<std::string> items = SplitString(line, '|');
+      if (items.size() == 3) suspects_.emplace_back(items[1], items[2]);
+    }
+    return Status::OK();
+  }
+  Result<Value> Evaluate(const std::vector<Value>& args) override {
+    if (args.size() != 1 || !args[0].IsObject()) {
+      return Status::TypeMismatch("fuzzySuspects expects (object)");
+    }
+    Value out = args[0];
+    const Value& user = out.GetFieldOrMissing("user");
+    std::string screen =
+        user.IsObject() ? FieldStr(user, "screen_name") : FieldStr(out, "screen_name");
+    std::string cleaned = ToLowerAscii(RemoveNonAlpha(screen));
+    adm::Array related;
+    for (const auto& [name, religion] : suspects_) {
+      if (EditDistance(cleaned, name, 4) < 5) {
+        related.push_back(Value::MakeObject({
+            {"sensitiveName", Value::MakeString(name)},
+            {"religionName", Value::MakeString(religion)},
+        }));
+      }
+    }
+    out.SetField("related_suspects", Value::MakeArray(std::move(related)));
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> suspects_;
+};
+
+/// Java analog of enrichTweetQ4 (Nearby Monuments). No spatial index is
+/// available to a Java UDF, so this scans the monument list per record —
+/// the reason the SQL++ R-tree plan beats it in Figure 25.
+class NearbyMonumentsUdf : public ResourceUdf {
+ public:
+  using ResourceUdf::ResourceUdf;
+  Status Initialize(const std::string& node_id) override {
+    (void)node_id;
+    monuments_.clear();
+    IDEA_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path_));
+    for (const auto& line : lines) {
+      std::vector<std::string> items = SplitString(line, '|');
+      if (items.size() != 3) continue;  // id|x|y
+      monuments_.push_back({items[0],
+                            {std::strtod(items[1].c_str(), nullptr),
+                             std::strtod(items[2].c_str(), nullptr)}});
+    }
+    return Status::OK();
+  }
+  Result<Value> Evaluate(const std::vector<Value>& args) override {
+    if (args.size() != 1 || !args[0].IsObject()) {
+      return Status::TypeMismatch("nearbyMonuments expects (object)");
+    }
+    Value out = args[0];
+    const Value& lat = out.GetFieldOrMissing("latitude");
+    const Value& lon = out.GetFieldOrMissing("longitude");
+    adm::Array nearby;
+    if (lat.IsNumeric() && lon.IsNumeric()) {
+      adm::Point p{lat.AsNumber(), lon.AsNumber()};
+      for (const auto& m : monuments_) {
+        if (adm::Distance(p, m.location) <= 1.5) {
+          nearby.push_back(Value::MakeString(m.id));
+        }
+      }
+    }
+    out.SetField("nearby_monuments", Value::MakeArray(std::move(nearby)));
+    return out;
+  }
+
+ private:
+  struct Monument {
+    std::string id;
+    adm::Point location;
+  };
+  std::vector<Monument> monuments_;
+};
+
+}  // namespace
+
+Status WriteNativeResources(const std::string& dir, const RefSizes& sizes,
+                            size_t country_domain, uint64_t seed) {
+  auto line_of = [](const Value& rec, const std::vector<const char*>& fields) {
+    std::string line;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) line += "|";
+      const Value& v = rec.GetFieldOrMissing(fields[i]);
+      if (v.IsString()) {
+        line += v.AsString();
+      } else if (v.IsInt()) {
+        line += std::to_string(v.AsInt());
+      } else if (v.IsPoint()) {
+        line += StringPrintf("%.10g|%.10g", v.AsPoint().x, v.AsPoint().y);
+      }
+    }
+    return line;
+  };
+  auto dump = [&](const std::string& file, const std::vector<Value>& records,
+                  const std::vector<const char*>& fields) -> Status {
+    std::vector<std::string> lines;
+    lines.reserve(records.size());
+    for (const auto& r : records) lines.push_back(line_of(r, fields));
+    return WriteLines(dir + "/" + file, lines);
+  };
+  IDEA_RETURN_NOT_OK(dump("sensitive_words.txt",
+                          GenSensitiveWords(sizes.sensitive_words, country_domain, seed),
+                          {"wid", "country", "word"}));
+  IDEA_RETURN_NOT_OK(dump("safety_ratings.txt", GenSafetyRatings(sizes.safety_ratings, seed),
+                          {"country_code", "safety_rating"}));
+  IDEA_RETURN_NOT_OK(
+      dump("religious_populations.txt",
+           GenReligiousPopulations(sizes.religious_populations, country_domain, seed),
+           {"rid", "country_name", "religion_name", "population"}));
+  IDEA_RETURN_NOT_OK(dump("sensitive_names.txt",
+                          GenSensitiveNames(sizes.sensitive_names, seed),
+                          {"sid", "sensitiveName", "religionName"}));
+  IDEA_RETURN_NOT_OK(dump("monuments.txt", GenMonuments(sizes.monuments, seed),
+                          {"monument_id", "monument_location"}));
+  return Status::OK();
+}
+
+Status RegisterNativeUdfs(feed::UdfRegistry* registry, const std::string& resource_dir) {
+  IDEA_RETURN_NOT_OK(registry->RegisterNative(
+      "testlib#removeSpecial", [] { return std::make_unique<RemoveSpecialUdf>(); },
+      /*stateful=*/false));
+  IDEA_RETURN_NOT_OK(registry->RegisterNative(
+      "testlib#usTweetSafetyCheck",
+      [] { return std::make_unique<UsTweetSafetyCheckUdf>(); },
+      /*stateful=*/false));
+  IDEA_RETURN_NOT_OK(registry->RegisterNative(
+      "testlib#tweetSafetyCheck",
+      [path = resource_dir + "/sensitive_words.txt"] {
+        return std::make_unique<TweetSafetyCheckUdf>(path);
+      },
+      /*stateful=*/true));
+  IDEA_RETURN_NOT_OK(registry->RegisterNative(
+      "testlib#safetyRating",
+      [path = resource_dir + "/safety_ratings.txt"] {
+        return std::make_unique<SafetyRatingUdf>(path);
+      },
+      /*stateful=*/true));
+  IDEA_RETURN_NOT_OK(registry->RegisterNative(
+      "testlib#religiousPopulation",
+      [path = resource_dir + "/religious_populations.txt"] {
+        return std::make_unique<ReligiousPopulationUdf>(path);
+      },
+      /*stateful=*/true));
+  IDEA_RETURN_NOT_OK(registry->RegisterNative(
+      "testlib#largestReligions",
+      [path = resource_dir + "/religious_populations.txt"] {
+        return std::make_unique<LargestReligionsUdf>(path);
+      },
+      /*stateful=*/true));
+  IDEA_RETURN_NOT_OK(registry->RegisterNative(
+      "testlib#fuzzySuspects",
+      [path = resource_dir + "/sensitive_names.txt"] {
+        return std::make_unique<FuzzySuspectsUdf>(path);
+      },
+      /*stateful=*/true));
+  IDEA_RETURN_NOT_OK(registry->RegisterNative(
+      "testlib#nearbyMonuments",
+      [path = resource_dir + "/monuments.txt"] {
+        return std::make_unique<NearbyMonumentsUdf>(path);
+      },
+      /*stateful=*/true));
+  return Status::OK();
+}
+
+}  // namespace idea::workload

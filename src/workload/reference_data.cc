@@ -1,0 +1,310 @@
+#include "workload/reference_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adm/temporal.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "workload/tweets.h"
+
+namespace idea::workload {
+
+using adm::Value;
+
+RefSizes RefSizes::Scaled(double factor) const {
+  auto scale = [&](size_t n) {
+    return std::max<size_t>(1, static_cast<size_t>(static_cast<double>(n) * factor));
+  };
+  RefSizes out = *this;
+  out.sensitive_words = scale(sensitive_words);
+  out.safety_ratings = scale(safety_ratings);
+  out.religious_populations = scale(religious_populations);
+  out.sensitive_names = scale(sensitive_names);
+  out.monuments = scale(monuments);
+  out.religious_buildings = scale(religious_buildings);
+  out.facilities = scale(facilities);
+  out.sensitive_names_large = scale(sensitive_names_large);
+  out.average_incomes = scale(average_incomes);
+  out.district_areas = scale(district_areas);
+  out.persons = scale(persons);
+  out.attack_events = scale(attack_events);
+  return out;
+}
+
+RefSizes SimulatorScaleSizes() {
+  RefSizes s;
+  s.sensitive_words = 1000;
+  s.safety_ratings = 5000;
+  s.religious_populations = 5000;
+  s.sensitive_names = 800;
+  s.monuments = 5000;
+  s.religious_buildings = 1000;
+  s.facilities = 2000;
+  s.sensitive_names_large = 4000;
+  s.average_incomes = 2000;
+  s.district_areas = 200;
+  s.persons = 8000;
+  s.attack_events = 500;
+  return s;
+}
+
+namespace {
+
+// Points follow the tweet convention create_point(latitude, longitude):
+// x in [-90, 90], y in [-180, 180].
+adm::Point RandomPoint(Rng* rng) {
+  return adm::Point{rng->NextDouble() * 180.0 - 90.0, rng->NextDouble() * 360.0 - 180.0};
+}
+
+}  // namespace
+
+std::vector<Value> GenSensitiveWords(size_t n, size_t country_domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> out;
+  out.reserve(n);
+  const auto& keywords = KeywordPool();
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Value::MakeObject({
+        {"wid", Value::MakeString(StringPrintf("W%06zu", i))},
+        {"country", Value::MakeString(CountryCode(rng.NextBelow(country_domain)))},
+        {"word", Value::MakeString(keywords[rng.NextBelow(keywords.size())])},
+    }));
+  }
+  return out;
+}
+
+std::vector<Value> GenSafetyRatings(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  static const char* kRatings[] = {"very-low", "low", "moderate", "high", "very-high"};
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Value::MakeObject({
+        {"country_code", Value::MakeString(CountryCode(i))},
+        {"safety_rating", Value::MakeString(kRatings[rng.NextBelow(5)])},
+    }));
+  }
+  return out;
+}
+
+std::vector<Value> GenReligiousPopulations(size_t n, size_t country_domain,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  const auto& religions = ReligionPool();
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Value::MakeObject({
+        {"rid", Value::MakeString(StringPrintf("RP%07zu", i))},
+        {"country_name", Value::MakeString(CountryCode(rng.NextBelow(country_domain)))},
+        {"religion_name", Value::MakeString(religions[rng.NextBelow(religions.size())])},
+        {"population", Value::MakeInt(rng.NextInRange(1000, 10000000))},
+    }));
+  }
+  return out;
+}
+
+std::vector<Value> GenSensitiveNames(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const auto& religions = ReligionPool();
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Value::MakeObject({
+        {"sid", Value::MakeString(StringPrintf("SN%07zu", i))},
+        {"sensitiveName", Value::MakeString(SuspectName(rng.NextBelow(1000)))},
+        {"religionName", Value::MakeString(religions[rng.NextBelow(religions.size())])},
+    }));
+  }
+  return out;
+}
+
+std::vector<Value> GenMonuments(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Value::MakeObject({
+        {"monument_id", Value::MakeString(StringPrintf("M%07zu", i))},
+        {"monument_location", Value::MakePoint(RandomPoint(&rng))},
+    }));
+  }
+  return out;
+}
+
+std::vector<Value> GenReligiousBuildings(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const auto& religions = ReligionPool();
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Value::MakeObject({
+        {"religious_building_id", Value::MakeString(StringPrintf("RB%06zu", i))},
+        {"religion_name", Value::MakeString(religions[rng.NextBelow(religions.size())])},
+        {"building_location", Value::MakePoint(RandomPoint(&rng))},
+        {"registered_believer", Value::MakeInt(rng.NextInRange(10, 100000))},
+    }));
+  }
+  return out;
+}
+
+std::vector<Value> GenFacilities(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const auto& types = FacilityTypePool();
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Value::MakeObject({
+        {"facility_id", Value::MakeString(StringPrintf("F%07zu", i))},
+        {"facility_location", Value::MakePoint(RandomPoint(&rng))},
+        {"facility_type", Value::MakeString(types[rng.NextBelow(types.size())])},
+    }));
+  }
+  return out;
+}
+
+std::vector<Value> GenSuspiciousNames(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const auto& religions = ReligionPool();
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Value::MakeObject({
+        {"suspicious_name_id", Value::MakeString(StringPrintf("SUS%06zu", i))},
+        {"suspicious_name", Value::MakeString(SuspectName(rng.NextBelow(1000)))},
+        {"religion_name", Value::MakeString(religions[rng.NextBelow(religions.size())])},
+        {"threat_level", Value::MakeInt(rng.NextInRange(1, 10))},
+    }));
+  }
+  return out;
+}
+
+std::vector<Value> GenAverageIncomes(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Value::MakeObject({
+        {"district_area_id", Value::MakeString(StringPrintf("D%06zu", i))},
+        {"average_income", Value::MakeDouble(20000.0 + rng.NextDouble() * 180000.0)},
+    }));
+  }
+  return out;
+}
+
+std::vector<Value> GenDistrictAreas(size_t n, uint64_t seed) {
+  (void)seed;
+  // Tile the world with an approximately square grid of n district
+  // rectangles so every tweet location falls into exactly one district.
+  size_t cols = std::max<size_t>(1, static_cast<size_t>(std::ceil(std::sqrt(
+                                        static_cast<double>(n) * 2.0))));
+  size_t rows = (n + cols - 1) / cols;
+  double w = 180.0 / static_cast<double>(cols);   // x: latitude
+  double h = 360.0 / static_cast<double>(rows);   // y: longitude
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t r = i / cols;
+    size_t c = i % cols;
+    adm::Rectangle rect{{-90.0 + static_cast<double>(c) * w,
+                         -180.0 + static_cast<double>(r) * h},
+                        {-90.0 + static_cast<double>(c + 1) * w,
+                         -180.0 + static_cast<double>(r + 1) * h}};
+    // The last row/column absorbs rounding so the tiling covers the globe.
+    if (c + 1 == cols) rect.hi.x = 90.0;
+    if (r + 1 == rows) rect.hi.y = 180.0;
+    out.push_back(Value::MakeObject({
+        {"district_area_id", Value::MakeString(StringPrintf("D%06zu", i))},
+        {"district_area", Value::MakeRectangle(rect)},
+    }));
+  }
+  return out;
+}
+
+std::vector<Value> GenPersons(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const auto& ethnicities = EthnicityPool();
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Value::MakeObject({
+        {"person_id", Value::MakeString(StringPrintf("P%09zu", i))},
+        {"ethnicity", Value::MakeString(ethnicities[rng.NextBelow(ethnicities.size())])},
+        {"location", Value::MakePoint(RandomPoint(&rng))},
+    }));
+  }
+  return out;
+}
+
+std::vector<Value> GenAttackEvents(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  const auto& religions = ReligionPool();
+  // Attacks land in the ~70 days before the tweet timeline starts
+  // (2019-01-01), so the Worrisome Tweets two-month window matches.
+  adm::DateTime base = adm::MakeDateTimeUtc(2018, 10, 25);
+  std::vector<Value> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    adm::DateTime when{base.epoch_ms +
+                       static_cast<int64_t>(rng.NextBelow(70ull * 86400000ull))};
+    out.push_back(Value::MakeObject({
+        {"attack_record_id", Value::MakeString(StringPrintf("A%06zu", i))},
+        {"attack_datetime", Value::MakeString(adm::PrintDateTime(when))},
+        {"attack_location", Value::MakePoint(RandomPoint(&rng))},
+        {"related_religion", Value::MakeString(religions[rng.NextBelow(religions.size())])},
+    }));
+  }
+  return out;
+}
+
+adm::Value GenUpdateFor(const std::string& dataset, size_t n_existing,
+                        size_t country_domain, uint64_t i) {
+  Rng rng(0x5EED0000 + i);
+  size_t key = static_cast<size_t>(i % std::max<size_t>(1, n_existing));
+  if (dataset == "SafetyRatings") {
+    static const char* kRatings[] = {"very-low", "low", "moderate", "high", "very-high"};
+    return Value::MakeObject({
+        {"country_code", Value::MakeString(CountryCode(key))},
+        {"safety_rating", Value::MakeString(kRatings[rng.NextBelow(5)])},
+    });
+  }
+  if (dataset == "ReligiousPopulations") {
+    const auto& religions = ReligionPool();
+    return Value::MakeObject({
+        {"rid", Value::MakeString(StringPrintf("RP%07zu", key))},
+        {"country_name", Value::MakeString(CountryCode(rng.NextBelow(country_domain)))},
+        {"religion_name", Value::MakeString(religions[rng.NextBelow(religions.size())])},
+        {"population", Value::MakeInt(rng.NextInRange(1000, 10000000))},
+    });
+  }
+  if (dataset == "SensitiveNamesDataset" || dataset == "SensitiveNames") {
+    const auto& religions = ReligionPool();
+    return Value::MakeObject({
+        {"sid", Value::MakeString(StringPrintf("SN%07zu", key))},
+        {"sensitiveName", Value::MakeString(SuspectName(rng.NextBelow(1000)))},
+        {"religionName", Value::MakeString(religions[rng.NextBelow(religions.size())])},
+    });
+  }
+  if (dataset == "monumentList") {
+    return Value::MakeObject({
+        {"monument_id", Value::MakeString(StringPrintf("M%07zu", key))},
+        {"monument_location", Value::MakePoint(RandomPoint(&rng))},
+    });
+  }
+  if (dataset == "SensitiveWords") {
+    const auto& keywords = KeywordPool();
+    return Value::MakeObject({
+        {"wid", Value::MakeString(StringPrintf("W%06zu", key))},
+        {"country", Value::MakeString(CountryCode(rng.NextBelow(country_domain)))},
+        {"word", Value::MakeString(keywords[rng.NextBelow(keywords.size())])},
+    });
+  }
+  // Default: overwrite a SafetyRatings-style record.
+  return Value::MakeObject({
+      {"country_code", Value::MakeString(CountryCode(key))},
+      {"safety_rating", Value::MakeString("updated-" + std::to_string(i))},
+  });
+}
+
+}  // namespace idea::workload

@@ -1,0 +1,125 @@
+#include "workload/tweets.h"
+
+#include "adm/json.h"
+#include "adm/temporal.h"
+#include "common/string_util.h"
+
+namespace idea::workload {
+
+using adm::Value;
+
+std::string CountryCode(size_t i) { return StringPrintf("C%05zu", i); }
+
+const std::vector<std::string>& ReligionPool() {
+  static const std::vector<std::string> kPool = {
+      "alethianism",  "borunism",    "celestianism", "dyrism",      "eremitism",
+      "folkvarism",   "gnostarism",  "heliotheism",  "ilmarism",    "jovianism",
+      "kaldurism",    "luminism",    "mystarism",    "noctism",     "orphism",
+      "pelagianism",  "quietism",    "runevism",     "solarism",    "tidewardism",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& FacilityTypePool() {
+  static const std::vector<std::string> kPool = {
+      "school",   "hospital", "airport",   "stadium", "market",
+      "library",  "station",  "courthouse", "museum",  "harbor",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& EthnicityPool() {
+  static const std::vector<std::string> kPool = {
+      "alpine", "boreal", "coastal", "delta", "highland",
+      "island", "plains", "riverine", "steppe", "valley",
+  };
+  return kPool;
+}
+
+const std::vector<std::string>& KeywordPool() {
+  static const std::vector<std::string> kPool = {
+      "bomb",    "attack",  "threat",  "hostage", "siege",
+      "ransom",  "sabotage", "riot",   "raid",    "ambush",
+      "cache",   "plot",    "decoy",   "breach",  "intrusion",
+  };
+  return kPool;
+}
+
+std::string SuspectName(size_t i) {
+  static const char* kFirst[] = {"avery", "blake", "casey",  "drew",  "ellis",
+                                 "finley", "gray",  "harper", "indigo", "jules"};
+  static const char* kLast[] = {"ashford", "briggs", "calloway", "draven", "ellison",
+                                "fairfax", "granger", "holloway", "ivers",  "jennings"};
+  return std::string(kFirst[i % 10]) + "_" + kLast[(i / 10) % 10] + "_" +
+         std::to_string(i);
+}
+
+TweetGenerator::TweetGenerator(TweetOptions options)
+    : options_(options), rng_(options.seed) {}
+
+Value TweetGenerator::NextValue() {
+  uint64_t id = next_id_++;
+  std::string country = CountryCode(rng_.NextBelow(options_.country_domain));
+
+  // Text: mostly random words, sometimes a sensitive keyword.
+  std::string text;
+  bool planted = rng_.NextBool(options_.keyword_probability);
+  size_t plant_at = rng_.NextBelow(options_.text_words);
+  for (size_t w = 0; w < options_.text_words; ++w) {
+    if (w > 0) text += " ";
+    if (planted && w == plant_at) {
+      text += rng_.Pick(KeywordPool());
+    } else {
+      text += rng_.NextAlpha(3 + rng_.NextBelow(7));
+    }
+  }
+
+  std::string name;
+  if (rng_.NextBool(options_.suspect_name_probability)) {
+    name = SuspectName(rng_.NextBelow(1000));
+  } else {
+    name = rng_.NextAlpha(6) + "_" + rng_.NextAlpha(8);
+  }
+  // Screen names carry special characters the Java-analog UDF strips.
+  std::string screen_name = "@" + name + "#" + std::to_string(rng_.NextBelow(100));
+
+  double latitude = rng_.NextDouble() * 180.0 - 90.0;
+  double longitude = rng_.NextDouble() * 360.0 - 180.0;
+  adm::DateTime created = adm::MakeDateTimeUtc(2019, 1, 1);
+  created.epoch_ms += static_cast<int64_t>(id) * 1000 + rng_.NextBelow(1000);
+
+  Value user = Value::MakeObject({
+      {"screen_name", Value::MakeString(screen_name)},
+      {"name", Value::MakeString(name)},
+      {"followers_count", Value::MakeInt(static_cast<int64_t>(rng_.NextBelow(100000)))},
+  });
+
+  return Value::MakeObject({
+      {"id", Value::MakeInt(static_cast<int64_t>(id))},
+      {"text", Value::MakeString(std::move(text))},
+      {"country", Value::MakeString(std::move(country))},
+      {"latitude", Value::MakeDouble(latitude)},
+      {"longitude", Value::MakeDouble(longitude)},
+      {"created_at", Value::MakeString(adm::PrintDateTime(created))},
+      {"user", std::move(user)},
+      {"lang", Value::MakeString("en")},
+      {"source", Value::MakeString("idea-tweet-generator/1.0 (synthetic feed)")},
+      {"retweet_count", Value::MakeInt(static_cast<int64_t>(rng_.NextBelow(1000)))},
+      {"favorite_count", Value::MakeInt(static_cast<int64_t>(rng_.NextBelow(5000)))},
+      {"place_description",
+       Value::MakeString("synthetic place " + rng_.NextAlpha(24))},
+  });
+}
+
+std::string TweetGenerator::NextJson() { return adm::PrintJson(NextValue()); }
+
+std::shared_ptr<const std::vector<std::string>> TweetGenerator::GenerateJson(
+    size_t n, TweetOptions options) {
+  TweetGenerator gen(options);
+  auto out = std::make_shared<std::vector<std::string>>();
+  out->reserve(n);
+  for (size_t i = 0; i < n; ++i) out->push_back(gen.NextJson());
+  return out;
+}
+
+}  // namespace idea::workload

@@ -1,0 +1,64 @@
+// Synthetic tweet workload: ~450-byte JSON tweets (the paper's record size,
+// §7.1) carrying every field the evaluation UDFs touch — id, text, country,
+// user.{screen_name,name}, latitude/longitude, created_at — plus filler
+// attributes that exercise the open-datatype path.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+#include "common/rng.h"
+
+namespace idea::workload {
+
+struct TweetOptions {
+  uint64_t seed = 42;
+  /// Size of the synthetic country-code domain; must match the reference
+  /// datasets built against the same domain.
+  size_t country_domain = 500;
+  /// Probability that a tweet's text contains a sensitive keyword from the
+  /// generator's keyword pool.
+  double keyword_probability = 0.10;
+  /// Words per tweet text.
+  size_t text_words = 16;
+  /// Probability the tweet's user name collides with a suspicious name.
+  double suspect_name_probability = 0.05;
+};
+
+/// Synthetic country code for index `i` ("C00017"-style). The tweet
+/// generator and every reference-data generator share this domain.
+std::string CountryCode(size_t i);
+
+/// Religion / facility-type / ethnicity name pools shared with the
+/// reference-data generators.
+const std::vector<std::string>& ReligionPool();
+const std::vector<std::string>& FacilityTypePool();
+const std::vector<std::string>& EthnicityPool();
+const std::vector<std::string>& KeywordPool();
+/// Deterministic suspicious-person name for index i.
+std::string SuspectName(size_t i);
+
+class TweetGenerator {
+ public:
+  explicit TweetGenerator(TweetOptions options = TweetOptions());
+
+  /// Next tweet as an ADM record.
+  adm::Value NextValue();
+  /// Next tweet as a single-line JSON string (feed wire format).
+  std::string NextJson();
+
+  uint64_t generated() const { return next_id_; }
+
+  /// Pre-generates `n` JSON tweets (shared across bench configurations).
+  static std::shared_ptr<const std::vector<std::string>> GenerateJson(
+      size_t n, TweetOptions options = TweetOptions());
+
+ private:
+  TweetOptions options_;
+  Rng rng_;
+  uint64_t next_id_ = 0;
+};
+
+}  // namespace idea::workload

@@ -1,0 +1,54 @@
+#include "workload/update_client.h"
+
+#include <chrono>
+
+#include "workload/reference_data.h"
+
+namespace idea::workload {
+
+UpdateClient::UpdateClient(storage::Catalog* catalog, std::string dataset,
+                           size_t dataset_size, size_t country_domain, double rate)
+    : catalog_(catalog),
+      dataset_(std::move(dataset)),
+      dataset_size_(dataset_size),
+      country_domain_(country_domain),
+      rate_(rate) {}
+
+UpdateClient::~UpdateClient() {
+  Stop();
+}
+
+Status UpdateClient::Start() {
+  std::shared_ptr<storage::LsmDataset> ds = catalog_->FindDataset(dataset_);
+  if (ds == nullptr) return Status::NotFound("unknown dataset '" + dataset_ + "'");
+  if (rate_ <= 0) return Status::InvalidArgument("update rate must be positive");
+  thread_ = std::thread([this, ds] {
+    const auto interval =
+        std::chrono::microseconds(static_cast<int64_t>(1e6 / rate_));
+    uint64_t i = 0;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      Status st = ds->Upsert(GenUpdateFor(dataset_, dataset_size_, country_domain_, i));
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (error_.ok()) error_ = st;
+        return;
+      }
+      applied_.fetch_add(1, std::memory_order_relaxed);
+      ++i;
+      std::this_thread::sleep_for(interval);
+    }
+  });
+  return Status::OK();
+}
+
+void UpdateClient::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+}
+
+Status UpdateClient::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_;
+}
+
+}  // namespace idea::workload

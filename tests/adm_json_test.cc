@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "adm/datatype.h"
+#include "adm/json.h"
+#include "common/rng.h"
+
+namespace idea::adm {
+namespace {
+
+Result<Value> P(const std::string& s) { return ParseJson(s); }
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_EQ(P("42")->AsInt(), 42);
+  EXPECT_EQ(P("-7")->AsInt(), -7);
+  EXPECT_DOUBLE_EQ(P("2.5")->AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(P("1e3")->AsDouble(), 1000.0);
+  EXPECT_TRUE(P("true")->AsBool());
+  EXPECT_FALSE(P("false")->AsBool());
+  EXPECT_TRUE(P("null")->IsNull());
+  EXPECT_EQ(P("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, IntegerOverflowBecomesDouble) {
+  auto v = P("99999999999999999999999");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->IsDouble());
+}
+
+TEST(JsonParseTest, NestedStructure) {
+  auto v = P(R"({"id": 1, "tags": ["a", "b"], "geo": {"lat": 1.5}})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->GetField("id")->AsInt(), 1);
+  EXPECT_EQ(v->GetField("tags")->AsArray()[1].AsString(), "b");
+  EXPECT_DOUBLE_EQ(v->GetField("geo")->GetField("lat")->AsDouble(), 1.5);
+}
+
+TEST(JsonParseTest, Escapes) {
+  EXPECT_EQ(P(R"("a\"b\\c\nd\te")")->AsString(), "a\"b\\c\nd\te");
+  EXPECT_EQ(P(R"("Aé")")->AsString(), "A\xc3\xa9");
+}
+
+TEST(JsonParseTest, PreservesFieldOrder) {
+  auto v = P(R"({"z": 1, "a": 2})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsObject()[0].first, "z");
+  EXPECT_EQ(v->AsObject()[1].first, "a");
+}
+
+class JsonErrorCase : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonErrorCase, Rejected) {
+  EXPECT_FALSE(P(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, JsonErrorCase,
+                         ::testing::Values("", "{", "[1,", "\"abc", "{\"a\" 1}",
+                                           "tru", "1 2", "{\"a\":}", "[,]",
+                                           "{\"a\":1,}", "nul"));
+
+TEST(JsonPrintTest, ExtendedTypesPrintAsConstructors) {
+  EXPECT_EQ(PrintJson(Value::MakePoint({1.5, -2.0})), "point(\"1.5,-2\")");
+  EXPECT_EQ(PrintJson(Value::MakeDuration({2, 0})), "duration(\"P2M\")");
+  Value dt = Value::MakeDateTime({0});
+  EXPECT_EQ(PrintJson(dt), "datetime(\"1970-01-01T00:00:00.000Z\")");
+}
+
+TEST(JsonPrintTest, DoubleKeepsFraction) {
+  // A double that holds an integral value must survive a round trip as a
+  // double (datatype stability across the wire).
+  auto v = ParseJson(PrintJson(Value::MakeDouble(5.0)));
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->IsDouble());
+}
+
+Value RandomJsonValue(Rng* rng, int depth = 0) {
+  if (depth < 3 && rng->NextBool(0.4)) {
+    if (rng->NextBool(0.5)) {
+      Array arr;
+      size_t n = rng->NextBelow(5);
+      for (size_t i = 0; i < n; ++i) arr.push_back(RandomJsonValue(rng, depth + 1));
+      return Value::MakeArray(std::move(arr));
+    }
+    Fields fields;
+    size_t n = rng->NextBelow(5);
+    for (size_t i = 0; i < n; ++i) {
+      fields.emplace_back(rng->NextAlpha(1 + rng->NextBelow(6)),
+                          RandomJsonValue(rng, depth + 1));
+    }
+    return Value::MakeObject(std::move(fields));
+  }
+  switch (rng->NextBelow(5)) {
+    case 0:
+      return Value::MakeNull();
+    case 1:
+      return Value::MakeBool(rng->NextBool(0.5));
+    case 2:
+      return Value::MakeInt(rng->NextInRange(-1000000000, 1000000000));
+    case 3:
+      return Value::MakeDouble(rng->NextDouble() * 1e6 - 5e5);
+    default:
+      return Value::MakeString(rng->NextAlpha(rng->NextBelow(16)));
+  }
+}
+
+class JsonRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonRoundTripProperty, PrintParseIsIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    Value v = RandomJsonValue(&rng);
+    auto back = ParseJson(PrintJson(v));
+    ASSERT_TRUE(back.ok()) << PrintJson(v);
+    EXPECT_EQ(*back, v) << PrintJson(v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripProperty, ::testing::Values(11, 22, 33));
+
+TEST(DatatypeTest, ValidatesRequiredFields) {
+  Datatype t("T", {{"id", FieldType::kInt64, false}, {"note", FieldType::kString, true}});
+  Value ok = Value::MakeObject({{"id", Value::MakeInt(1)}});
+  EXPECT_TRUE(t.ValidateAndCoerce(&ok).ok());
+  Value missing_id = Value::MakeObject({{"note", Value::MakeString("x")}});
+  EXPECT_TRUE(t.ValidateAndCoerce(&missing_id).IsTypeMismatch());
+  Value wrong_type = Value::MakeObject({{"id", Value::MakeString("one")}});
+  EXPECT_TRUE(t.ValidateAndCoerce(&wrong_type).IsTypeMismatch());
+}
+
+TEST(DatatypeTest, OpenFieldsPassThrough) {
+  Datatype t("T", {{"id", FieldType::kInt64, false}});
+  Value v = Value::MakeObject({{"id", Value::MakeInt(1)}, {"extra", Value::MakeBool(true)}});
+  EXPECT_TRUE(t.ValidateAndCoerce(&v).ok());
+  EXPECT_TRUE(v.GetField("extra")->AsBool());
+}
+
+TEST(DatatypeTest, CoercesExtendedTypes) {
+  Datatype t("T", {{"id", FieldType::kInt64, false},
+                   {"when", FieldType::kDateTime, false},
+                   {"span", FieldType::kDuration, false},
+                   {"loc", FieldType::kPoint, false},
+                   {"area", FieldType::kRectangle, false},
+                   {"zone", FieldType::kCircle, false},
+                   {"score", FieldType::kDouble, false}});
+  auto parsed = ParseJson(R"({
+    "id": 1,
+    "when": "2019-03-01T12:00:00Z",
+    "span": "P2M",
+    "loc": [1.0, 2.0],
+    "area": [[0.0, 0.0], [2.0, 2.0]],
+    "zone": [[1.0, 1.0], 0.5],
+    "score": 7
+  })");
+  ASSERT_TRUE(parsed.ok());
+  Value v = std::move(parsed).value();
+  ASSERT_TRUE(t.ValidateAndCoerce(&v).ok());
+  EXPECT_TRUE(v.GetField("when")->IsDateTime());
+  EXPECT_EQ(v.GetField("span")->AsDuration().months, 2);
+  EXPECT_EQ(v.GetField("loc")->AsPoint().y, 2.0);
+  EXPECT_EQ(v.GetField("area")->AsRectangle().hi.x, 2.0);
+  EXPECT_EQ(v.GetField("zone")->AsCircle().radius, 0.5);
+  EXPECT_TRUE(v.GetField("score")->IsDouble());
+}
+
+TEST(DatatypeTest, BadCoercionFails) {
+  Datatype t("T", {{"when", FieldType::kDateTime, false}});
+  Value v = Value::MakeObject({{"when", Value::MakeString("not-a-date")}});
+  EXPECT_TRUE(t.ValidateAndCoerce(&v).IsTypeMismatch());
+}
+
+TEST(DatatypeTest, FieldTypeNamesRoundTrip) {
+  for (const char* name : {"int64", "string", "double", "boolean", "datetime",
+                           "duration", "point", "rectangle", "circle"}) {
+    auto ft = FieldTypeFromName(name);
+    ASSERT_TRUE(ft.ok()) << name;
+    EXPECT_STREQ(FieldTypeName(*ft), name);
+  }
+  EXPECT_FALSE(FieldTypeFromName("blob").ok());
+}
+
+}  // namespace
+}  // namespace idea::adm

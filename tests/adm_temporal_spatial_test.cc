@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "adm/spatial.h"
+#include "adm/temporal.h"
+#include "common/rng.h"
+
+namespace idea::adm {
+namespace {
+
+TEST(DateTimeTest, ParsePrintsBack) {
+  auto dt = ParseDateTime("2019-08-23T10:11:12Z");
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(PrintDateTime(*dt), "2019-08-23T10:11:12.000Z");
+}
+
+TEST(DateTimeTest, DateOnly) {
+  auto dt = ParseDateTime("2019-01-01");
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(PrintDateTime(*dt), "2019-01-01T00:00:00.000Z");
+}
+
+TEST(DateTimeTest, FractionalSeconds) {
+  auto dt = ParseDateTime("2019-01-01T00:00:00.250Z");
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->epoch_ms % 1000, 250);
+}
+
+TEST(DateTimeTest, EpochZero) {
+  auto dt = ParseDateTime("1970-01-01T00:00:00Z");
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->epoch_ms, 0);
+}
+
+TEST(DateTimeTest, PreEpochDates) {
+  auto dt = ParseDateTime("1969-12-31T23:59:59Z");
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->epoch_ms, -1000);
+  EXPECT_EQ(PrintDateTime(*dt), "1969-12-31T23:59:59.000Z");
+}
+
+class DateTimeBadInput : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DateTimeBadInput, Rejected) {
+  EXPECT_FALSE(ParseDateTime(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, DateTimeBadInput,
+                         ::testing::Values("", "2019", "2019-13-01", "2019-02-30",
+                                           "2019-01-01T25:00:00", "abc",
+                                           "2019-01-01T00:00:00Zjunk"));
+
+TEST(DateTimeTest, RoundTripProperty) {
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    DateTime dt{rng.NextInRange(-4102444800000ll, 4102444800000ll)};  // ±2100
+    auto back = ParseDateTime(PrintDateTime(dt));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->epoch_ms, dt.epoch_ms);
+  }
+}
+
+TEST(DurationTest, ParseForms) {
+  EXPECT_EQ(ParseDuration("P2M")->months, 2);
+  EXPECT_EQ(ParseDuration("P1Y2M")->months, 14);
+  EXPECT_EQ(ParseDuration("P3D")->millis, 3ll * 86400000);
+  EXPECT_EQ(ParseDuration("PT1H30M")->millis, 90ll * 60000);
+  EXPECT_EQ(ParseDuration("PT0.5S")->millis, 500);
+  EXPECT_EQ(ParseDuration("P1W")->millis, 7ll * 86400000);
+  EXPECT_FALSE(ParseDuration("2M").ok());
+  EXPECT_FALSE(ParseDuration("P").ok());
+  EXPECT_FALSE(ParseDuration("P2X").ok());
+}
+
+TEST(DurationTest, PrintNormalizes) {
+  EXPECT_EQ(PrintDuration(Duration{2, 0}), "P2M");
+  EXPECT_EQ(PrintDuration(Duration{14, 0}), "P1Y2M");
+  EXPECT_EQ(PrintDuration(Duration{0, 90ll * 60000}), "PT1H30M");
+  EXPECT_EQ(PrintDuration(Duration{0, 0}), "PT0S");
+}
+
+TEST(AddDurationTest, TwoMonthWindow) {
+  // The Worrisome Tweets predicate: attack_datetime + P2M.
+  DateTime nov = *ParseDateTime("2018-11-15T00:00:00Z");
+  DateTime plus2m = AddDuration(nov, *ParseDuration("P2M"));
+  EXPECT_EQ(PrintDateTime(plus2m), "2019-01-15T00:00:00.000Z");
+}
+
+TEST(AddDurationTest, ClampsDayIntoTargetMonth) {
+  DateTime jan31 = *ParseDateTime("2019-01-31T12:00:00Z");
+  EXPECT_EQ(PrintDateTime(AddDuration(jan31, *ParseDuration("P1M"))),
+            "2019-02-28T12:00:00.000Z");
+  DateTime leap = *ParseDateTime("2020-01-31T00:00:00Z");
+  EXPECT_EQ(PrintDateTime(AddDuration(leap, *ParseDuration("P1M"))),
+            "2020-02-29T00:00:00.000Z");
+}
+
+TEST(AddDurationTest, NegativeMonths) {
+  DateTime mar = *ParseDateTime("2019-03-31T00:00:00Z");
+  EXPECT_EQ(PrintDateTime(AddDuration(mar, Duration{-1, 0})),
+            "2019-02-28T00:00:00.000Z");
+}
+
+TEST(AddDurationTest, MillisOnly) {
+  DateTime t = *ParseDateTime("2019-01-01T00:00:00Z");
+  DateTime t2 = AddDuration(t, Duration{0, 3600000});
+  EXPECT_EQ(PrintDateTime(t2), "2019-01-01T01:00:00.000Z");
+}
+
+// --- spatial ---------------------------------------------------------------
+
+TEST(SpatialTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(SpatialTest, RectPredicates) {
+  Rectangle r{{0, 0}, {10, 5}};
+  EXPECT_TRUE(RectContainsPoint(r, {5, 2}));
+  EXPECT_TRUE(RectContainsPoint(r, {0, 0}));  // boundary inclusive
+  EXPECT_FALSE(RectContainsPoint(r, {11, 2}));
+  EXPECT_TRUE(RectIntersectsRect(r, {{9, 4}, {20, 20}}));
+  EXPECT_FALSE(RectIntersectsRect(r, {{11, 6}, {12, 7}}));
+}
+
+TEST(SpatialTest, CirclePredicates) {
+  Circle c{{0, 0}, 2};
+  EXPECT_TRUE(CircleContainsPoint(c, {1, 1}));
+  EXPECT_FALSE(CircleContainsPoint(c, {2, 2}));
+  EXPECT_TRUE(CircleIntersectsRect(c, {{1, 1}, {5, 5}}));
+  EXPECT_FALSE(CircleIntersectsRect(c, {{3, 3}, {5, 5}}));
+  EXPECT_TRUE(CircleIntersectsCircle(c, {{3, 0}, 1}));
+  EXPECT_FALSE(CircleIntersectsCircle(c, {{5, 0}, 1}));
+}
+
+TEST(SpatialTest, SpatialIntersectDispatch) {
+  Value pt = Value::MakePoint({1, 1});
+  Value circ = Value::MakeCircle({{0, 0}, 2});
+  Value rect = Value::MakeRectangle({{0, 0}, {2, 2}});
+  EXPECT_TRUE(SpatialIntersect(pt, circ));
+  EXPECT_TRUE(SpatialIntersect(circ, pt));
+  EXPECT_TRUE(SpatialIntersect(pt, rect));
+  EXPECT_TRUE(SpatialIntersect(rect, circ));
+  EXPECT_FALSE(SpatialIntersect(Value::MakeNull(), circ));
+  EXPECT_FALSE(SpatialIntersect(Value::MakeInt(1), circ));
+  EXPECT_TRUE(SpatialIntersect(pt, pt));
+  EXPECT_FALSE(SpatialIntersect(pt, Value::MakePoint({1, 2})));
+}
+
+TEST(SpatialTest, MbrOfGeometries) {
+  Rectangle mbr;
+  ASSERT_TRUE(ValueMbr(Value::MakePoint({3, 4}), &mbr));
+  EXPECT_EQ(mbr.lo, (Point{3, 4}));
+  ASSERT_TRUE(ValueMbr(Value::MakeCircle({{0, 0}, 2}), &mbr));
+  EXPECT_EQ(mbr.lo, (Point{-2, -2}));
+  EXPECT_EQ(mbr.hi, (Point{2, 2}));
+  EXPECT_FALSE(ValueMbr(Value::MakeInt(1), &mbr));
+}
+
+TEST(SpatialTest, MbrUnionAndArea) {
+  Rectangle u = MbrUnion({{0, 0}, {1, 1}}, {{2, -1}, {3, 0.5}});
+  EXPECT_EQ(u.lo, (Point{0, -1}));
+  EXPECT_EQ(u.hi, (Point{3, 1}));
+  EXPECT_DOUBLE_EQ(MbrArea({{0, 0}, {4, 2}}), 8.0);
+}
+
+TEST(SpatialTest, CircleMbrConservativeProperty) {
+  // Everything inside the circle lies inside its MBR.
+  Rng rng(12);
+  for (int i = 0; i < 200; ++i) {
+    Circle c{{rng.NextDouble() * 20 - 10, rng.NextDouble() * 20 - 10},
+             rng.NextDouble() * 5};
+    Rectangle mbr;
+    ASSERT_TRUE(ValueMbr(Value::MakeCircle(c), &mbr));
+    Point p{rng.NextDouble() * 20 - 10, rng.NextDouble() * 20 - 10};
+    if (CircleContainsPoint(c, p)) {
+      EXPECT_TRUE(RectContainsPoint(mbr, p));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idea::adm

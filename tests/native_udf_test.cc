@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "adm/json.h"
+#include "adm/spatial.h"
+#include "workload/native_udfs.h"
+#include "workload/reference_data.h"
+#include "workload/tweets.h"
+
+namespace idea::workload {
+namespace {
+
+using adm::Value;
+
+class NativeUdfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/native_udf_test";
+    (void)::system(("mkdir -p " + dir_).c_str());
+    sizes_ = SimulatorScaleSizes().Scaled(0.05);
+    ASSERT_TRUE(WriteNativeResources(dir_, sizes_, 100, 1).ok());
+    ASSERT_TRUE(RegisterNativeUdfs(&registry_, dir_).ok());
+  }
+
+  Value Call(const std::string& name, const Value& arg) {
+    auto instance = registry_.CreateNativeInstance(name, "n0");
+    EXPECT_TRUE(instance.ok()) << name << ": " << instance.status().ToString();
+    auto r = (*instance)->Evaluate({arg});
+    EXPECT_TRUE(r.ok()) << name << ": " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : Value();
+  }
+
+  std::string dir_;
+  RefSizes sizes_;
+  feed::UdfRegistry registry_;
+};
+
+TEST_F(NativeUdfTest, RemoveSpecialIsStateless) {
+  Value out = Call("testlib#removeSpecial", Value::MakeString("@Dr_Evil#42!"));
+  EXPECT_EQ(out.AsString(), "drevil");
+  EXPECT_FALSE(registry_.IsNativeStateful("testlib#removeSpecial"));
+}
+
+TEST_F(NativeUdfTest, UsTweetSafetyCheckMatchesFigure5) {
+  Value red = Call("testlib#usTweetSafetyCheck",
+                   adm::ParseJson(R"({"country":"US","text":"a bomb"})").value());
+  EXPECT_EQ(red.GetField("safety_check_flag")->AsString(), "Red");
+  Value green = Call("testlib#usTweetSafetyCheck",
+                     adm::ParseJson(R"({"country":"FR","text":"a bomb"})").value());
+  EXPECT_EQ(green.GetField("safety_check_flag")->AsString(), "Green");
+}
+
+TEST_F(NativeUdfTest, TweetSafetyCheckLoadsKeywordList) {
+  EXPECT_TRUE(registry_.IsNativeStateful("testlib#tweetSafetyCheck"));
+  // Build a controlled keyword file.
+  {
+    std::ofstream f(dir_ + "/sensitive_words.txt", std::ios::trunc);
+    f << "W1|US|bomb\nW2|FR|siege\n";
+  }
+  Value red = Call("testlib#tweetSafetyCheck",
+                   adm::ParseJson(R"({"country":"US","text":"the bomb"})").value());
+  EXPECT_EQ(red.GetField("safety_check_flag")->AsString(), "Red");
+  Value green = Call("testlib#tweetSafetyCheck",
+                     adm::ParseJson(R"({"country":"US","text":"la siege"})").value());
+  EXPECT_EQ(green.GetField("safety_check_flag")->AsString(), "Green");
+}
+
+TEST_F(NativeUdfTest, ReinitializationPicksUpResourceChanges) {
+  {
+    std::ofstream f(dir_ + "/safety_ratings.txt", std::ios::trunc);
+    f << "C00001|low\n";
+  }
+  auto instance = registry_.CreateNativeInstance("testlib#safetyRating", "n0");
+  ASSERT_TRUE(instance.ok());
+  Value tweet = adm::ParseJson(R"({"country":"C00001"})").value();
+  Value v1 = (*instance)->Evaluate({tweet}).value();
+  EXPECT_EQ(v1.GetField("safety_rating")->AsArray()[0].AsString(), "low");
+  // Change the resource file: visible only after re-initialization (the
+  // dynamic framework re-initializes per computing job; the static pipeline
+  // never does — the staleness the paper measures).
+  {
+    std::ofstream f(dir_ + "/safety_ratings.txt", std::ios::trunc);
+    f << "C00001|high\n";
+  }
+  Value stale = (*instance)->Evaluate({tweet}).value();
+  EXPECT_EQ(stale.GetField("safety_rating")->AsArray()[0].AsString(), "low");
+  ASSERT_TRUE((*instance)->Initialize("n0").ok());
+  Value fresh = (*instance)->Evaluate({tweet}).value();
+  EXPECT_EQ(fresh.GetField("safety_rating")->AsArray()[0].AsString(), "high");
+}
+
+TEST_F(NativeUdfTest, ReligiousPopulationSumsPerCountry) {
+  {
+    std::ofstream f(dir_ + "/religious_populations.txt", std::ios::trunc);
+    f << "R1|C00001|a|100\nR2|C00001|b|250\nR3|C00002|a|7\n";
+  }
+  Value out = Call("testlib#religiousPopulation",
+                   adm::ParseJson(R"({"country":"C00001"})").value());
+  EXPECT_EQ(out.GetField("religious_population")->AsInt(), 350);
+  Value none = Call("testlib#religiousPopulation",
+                    adm::ParseJson(R"({"country":"C09999"})").value());
+  EXPECT_TRUE(none.GetField("religious_population")->IsNull());
+}
+
+TEST_F(NativeUdfTest, LargestReligionsUsesAppendixOrdering) {
+  {
+    std::ofstream f(dir_ + "/religious_populations.txt", std::ios::trunc);
+    f << "R1|C00001|big|900\nR2|C00001|small|10\nR3|C00001|mid|500\nR4|C00001|tiny|1\n";
+  }
+  Value out = Call("testlib#largestReligions",
+                   adm::ParseJson(R"({"country":"C00001"})").value());
+  const auto& arr = out.GetField("largest_religions")->AsArray();
+  // Appendix C orders ORDER BY r.population (ascending) LIMIT 3.
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[0].AsString(), "tiny");
+  EXPECT_EQ(arr[1].AsString(), "small");
+  EXPECT_EQ(arr[2].AsString(), "mid");
+}
+
+TEST_F(NativeUdfTest, FuzzySuspectsEditDistance) {
+  {
+    std::ofstream f(dir_ + "/sensitive_names.txt", std::ios::trunc);
+    f << "S1|averyashford|luminism\nS2|zzzzzzzzzzzzzzzz|noctism\n";
+  }
+  Value tweet = adm::ParseJson(
+                    R"({"user": {"screen_name": "@Avery_Ashford#7", "name": "x"}})")
+                    .value();
+  Value out = Call("testlib#fuzzySuspects", tweet);
+  const auto& related = out.GetField("related_suspects")->AsArray();
+  ASSERT_EQ(related.size(), 1u);
+  EXPECT_EQ(related[0].GetField("sensitiveName")->AsString(), "averyashford");
+}
+
+TEST_F(NativeUdfTest, NearbyMonumentsLinearScan) {
+  {
+    std::ofstream f(dir_ + "/monuments.txt", std::ios::trunc);
+    f << "M1|10.0|10.0\nM2|50.0|50.0\n";
+  }
+  Value tweet = adm::ParseJson(R"({"latitude": 10.5, "longitude": 10.5})").value();
+  Value out = Call("testlib#nearbyMonuments", tweet);
+  const auto& nearby = out.GetField("nearby_monuments")->AsArray();
+  ASSERT_EQ(nearby.size(), 1u);
+  EXPECT_EQ(nearby[0].AsString(), "M1");
+}
+
+TEST_F(NativeUdfTest, MissingResourceFileFailsInitialize) {
+  feed::UdfRegistry fresh;
+  ASSERT_TRUE(RegisterNativeUdfs(&fresh, "/nonexistent/dir").ok());
+  auto r = fresh.CreateNativeInstance("testlib#safetyRating", "n0");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(NativeUdfTest, UnknownNativeIsNotFound) {
+  EXPECT_FALSE(registry_.CreateNativeInstance("testlib#nope", "n0").ok());
+  EXPECT_FALSE(registry_.HasNative("testlib#nope"));
+  EXPECT_TRUE(registry_.HasNative("testlib#fuzzySuspects"));
+}
+
+TEST(ReferenceDataTest, GeneratorsAreDeterministic) {
+  auto a = GenSafetyRatings(50, 9);
+  auto b = GenSafetyRatings(50, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  auto c = GenSafetyRatings(50, 10);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) any_diff |= !(a[i] == c[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ReferenceDataTest, DistrictsTileTheTweetSpace) {
+  auto districts = GenDistrictAreas(200, 0);
+  TweetGenerator gen({.seed = 4, .country_domain = 10});
+  for (int i = 0; i < 100; ++i) {
+    Value tweet = gen.NextValue();
+    adm::Point p{tweet.GetField("latitude")->AsDouble(),
+                 tweet.GetField("longitude")->AsDouble()};
+    int containing = 0;
+    for (const auto& d : districts) {
+      if (adm::RectContainsPoint(d.GetField("district_area")->AsRectangle(), p)) {
+        ++containing;
+      }
+    }
+    EXPECT_GE(containing, 1) << tweet.ToString();
+    EXPECT_LE(containing, 4);  // boundary points may touch a few tiles
+  }
+}
+
+TEST(ReferenceDataTest, ScaledSizesApplyFactor) {
+  RefSizes base = SimulatorScaleSizes();
+  RefSizes doubled = base.Scaled(2.0);
+  EXPECT_EQ(doubled.monuments, base.monuments * 2);
+  RefSizes tiny = base.Scaled(0.0001);
+  EXPECT_GE(tiny.monuments, 1u);
+}
+
+TEST(TweetGeneratorTest, TweetsCarryAllUdfFields) {
+  TweetGenerator gen({.seed = 1, .country_domain = 20});
+  for (int i = 0; i < 20; ++i) {
+    Value t = gen.NextValue();
+    EXPECT_TRUE(t.GetField("id")->IsInt());
+    EXPECT_TRUE(t.GetField("text")->IsString());
+    EXPECT_TRUE(t.GetField("country")->IsString());
+    EXPECT_TRUE(t.GetField("latitude")->IsDouble());
+    EXPECT_TRUE(t.GetField("longitude")->IsDouble());
+    EXPECT_TRUE(t.GetField("created_at")->IsString());
+    EXPECT_TRUE(t.GetField("user")->GetField("screen_name")->IsString());
+  }
+}
+
+TEST(TweetGeneratorTest, JsonNearPaperRecordSize) {
+  auto records = TweetGenerator::GenerateJson(200, {.seed = 2, .country_domain = 100});
+  size_t total = 0;
+  for (const auto& r : *records) total += r.size();
+  double avg = static_cast<double>(total) / 200.0;
+  // Paper §7.1: each tweet record is ~450 bytes.
+  EXPECT_GT(avg, 350.0);
+  EXPECT_LT(avg, 600.0);
+}
+
+}  // namespace
+}  // namespace idea::workload

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "adm/json.h"
+#include "runtime/connectors.h"
+#include "runtime/frame.h"
+#include "runtime/job_executor.h"
+#include "runtime/partition_holder.h"
+#include "runtime/predeployed.h"
+#include "storage/catalog.h"
+
+namespace idea::runtime {
+namespace {
+
+using adm::Value;
+
+Value Rec(int64_t id, const std::string& country) {
+  return Value::MakeObject({{"id", Value::MakeInt(id)},
+                            {"country", Value::MakeString(country)}});
+}
+
+TEST(FrameTest, AppendDecodeRoundTrip) {
+  Frame f;
+  f.Append(Rec(1, "US"));
+  f.Append(Rec(2, "FR"));
+  EXPECT_EQ(f.record_count(), 2u);
+  std::vector<Value> out;
+  ASSERT_TRUE(f.Decode(&out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[1].GetField("country")->AsString(), "FR");
+}
+
+TEST(FrameTest, FrameRecordsSplitsBySize) {
+  std::vector<Value> records;
+  for (int i = 0; i < 100; ++i) records.push_back(Rec(i, std::string(100, 'x')));
+  auto frames = FrameRecords(records, 1024);
+  EXPECT_GT(frames.size(), 5u);
+  size_t total = 0;
+  for (const auto& f : frames) total += f.record_count();
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(FrameQueueTest, PushPopOrder) {
+  FrameQueue q(4);
+  Frame a;
+  a.Append(Rec(1, "a"));
+  ASSERT_TRUE(q.Push(std::move(a)).ok());
+  Frame out;
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.record_count(), 1u);
+  EXPECT_EQ(q.records_pushed(), 1u);
+}
+
+TEST(FrameQueueTest, CloseDrainsThenEnds) {
+  FrameQueue q(4);
+  Frame a;
+  a.Append(Rec(1, "a"));
+  ASSERT_TRUE(q.Push(std::move(a)).ok());
+  q.Close();
+  Frame out;
+  EXPECT_TRUE(q.Pop(&out));   // drains remaining frame
+  EXPECT_FALSE(q.Pop(&out));  // then reports exhaustion
+  EXPECT_FALSE(q.Push(Frame()).ok());
+}
+
+TEST(FrameQueueTest, BlockingPushUnblocksOnPop) {
+  FrameQueue q(1);
+  ASSERT_TRUE(q.Push(Frame()).ok());
+  std::thread t([&] {
+    Frame f;
+    EXPECT_TRUE(q.Push(std::move(f)).ok());  // blocks until main pops
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  Frame out;
+  EXPECT_TRUE(q.Pop(&out));
+  t.join();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(RouterTest, RoundRobinBalances) {
+  std::vector<std::shared_ptr<FrameQueue>> targets;
+  for (int i = 0; i < 3; ++i) targets.push_back(std::make_shared<FrameQueue>());
+  Router router(ConnectorType::kRoundRobin, targets, 0, nullptr, /*frame_bytes=*/1);
+  for (int i = 0; i < 99; ++i) ASSERT_TRUE(router.RouteRecord(Rec(i, "x")).ok());
+  ASSERT_TRUE(router.Flush().ok());
+  for (const auto& t : targets) EXPECT_EQ(t->records_pushed(), 33u);
+}
+
+TEST(RouterTest, HashIsConsistentByKey) {
+  std::vector<std::shared_ptr<FrameQueue>> targets;
+  for (int i = 0; i < 4; ++i) targets.push_back(std::make_shared<FrameQueue>());
+  KeyExtractor key = [](const Value& v) { return v.GetFieldOrMissing("country"); };
+  Router router(ConnectorType::kHashPartition, targets, 0, key, 1);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(router.RouteRecord(Rec(i, i % 2 == 0 ? "US" : "FR")).ok());
+  }
+  ASSERT_TRUE(router.Flush().ok());
+  // Each key lands in exactly one queue; two keys -> at most two queues used.
+  int used = 0;
+  for (const auto& t : targets) used += t->records_pushed() > 0 ? 1 : 0;
+  EXPECT_LE(used, 2);
+  uint64_t total = 0;
+  for (const auto& t : targets) total += t->records_pushed();
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(RouterTest, BroadcastReachesAllTargets) {
+  std::vector<std::shared_ptr<FrameQueue>> targets;
+  for (int i = 0; i < 3; ++i) targets.push_back(std::make_shared<FrameQueue>());
+  Router router(ConnectorType::kBroadcast, targets, 0, nullptr, 1);
+  ASSERT_TRUE(router.RouteRecord(Rec(1, "x")).ok());
+  ASSERT_TRUE(router.Flush().ok());
+  for (const auto& t : targets) EXPECT_EQ(t->records_pushed(), 1u);
+}
+
+// Figure 2: SELECT t.country, COUNT(*) FROM Tweets t GROUP BY t.country as a
+// partitioned job: scan -> local group-by -> (hash) -> global group-by ->
+// collector.
+TEST(JobExecutorTest, Figure2GroupByJob) {
+  auto records = std::make_shared<std::vector<Value>>();
+  for (int i = 0; i < 300; ++i) {
+    records->push_back(Rec(i, i % 3 == 0 ? "US" : (i % 3 == 1 ? "FR" : "JP")));
+  }
+  auto output = std::make_shared<CollectorSink::Output>();
+
+  auto country_key = [](const Value& v) { return v.GetFieldOrMissing("country"); };
+  JobSpecification spec;
+  spec.name = "fig2";
+  spec.Source([&](const OperatorContext&) -> Result<std::unique_ptr<SourceOperator>> {
+    return std::unique_ptr<SourceOperator>(std::make_unique<VectorSource>(records));
+  });
+  spec.Stage("local-groupby", ConnectorType::kOneToOne,
+             [&](const OperatorContext&) -> Result<std::unique_ptr<Operator>> {
+               return std::unique_ptr<Operator>(std::make_unique<GroupByOperator>(
+                   "country", country_key,
+                   std::vector<AggSpec>{{"num", AggKind::kCount, nullptr}}));
+             });
+  spec.Stage("global-groupby", ConnectorType::kHashPartition,
+             [&](const OperatorContext&) -> Result<std::unique_ptr<Operator>> {
+               return std::unique_ptr<Operator>(std::make_unique<GroupByOperator>(
+                   "country", country_key,
+                   std::vector<AggSpec>{
+                       {"num", AggKind::kSum,
+                        [](const Value& v) { return v.GetFieldOrMissing("num"); }}}));
+             },
+             country_key);
+  spec.Stage("collector", ConnectorType::kOneToOne,
+             [&](const OperatorContext&) -> Result<std::unique_ptr<Operator>> {
+               return std::unique_ptr<Operator>(std::make_unique<CollectorSink>(output));
+             });
+
+  OperatorContext base;
+  JobExecutor executor(/*partitions=*/3, base);
+  auto stats = executor.Run(spec);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->source_records, 300u);
+  ASSERT_EQ(output->records.size(), 3u);
+  for (const auto& row : output->records) {
+    EXPECT_EQ(row.GetField("num")->AsInt(), 100);
+  }
+  EXPECT_EQ(spec.Describe(),
+            "fig2: source =(one-to-one)=> local-groupby =(hash-partition)=> "
+            "global-groupby =(one-to-one)=> collector");
+}
+
+TEST(JobExecutorTest, InsertJobWritesDataset) {
+  storage::Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .CreateDatatype(adm::Datatype(
+                      "T", {{"id", adm::FieldType::kInt64, false}}))
+                  .ok());
+  ASSERT_TRUE(catalog.CreateDataset("Out", "T", "id").ok());
+  auto records = std::make_shared<std::vector<Value>>();
+  for (int i = 0; i < 50; ++i) records->push_back(Rec(i, "US"));
+
+  JobSpecification spec;
+  spec.name = "insert";
+  spec.Source([&](const OperatorContext&) -> Result<std::unique_ptr<SourceOperator>> {
+    return std::unique_ptr<SourceOperator>(std::make_unique<VectorSource>(records));
+  });
+  spec.Stage("insert", ConnectorType::kHashPartition,
+             [&](const OperatorContext&) -> Result<std::unique_ptr<Operator>> {
+               return std::unique_ptr<Operator>(
+                   std::make_unique<InsertOperator>(catalog.FindDataset("Out"), true));
+             },
+             [](const Value& v) { return v.GetFieldOrMissing("id"); });
+  OperatorContext base;
+  JobExecutor executor(2, base);
+  ASSERT_TRUE(executor.Run(spec).ok());
+  EXPECT_EQ(catalog.FindDataset("Out")->LiveRecordCount(), 50u);
+  EXPECT_GT(catalog.FindDataset("Out")->wal_stats().flushes, 0u);
+}
+
+TEST(JobExecutorTest, ErrorsPropagate) {
+  auto records = std::make_shared<std::vector<Value>>();
+  records->push_back(Rec(1, "x"));
+  JobSpecification spec;
+  spec.name = "failing";
+  spec.Source([&](const OperatorContext&) -> Result<std::unique_ptr<SourceOperator>> {
+    return std::unique_ptr<SourceOperator>(std::make_unique<VectorSource>(records));
+  });
+  spec.Stage("boom", ConnectorType::kOneToOne,
+             [&](const OperatorContext&) -> Result<std::unique_ptr<Operator>> {
+               return std::unique_ptr<Operator>(std::make_unique<TransformOperator>(
+                   [](const Value&) -> Result<Value> {
+                     return Status::Internal("kaboom");
+                   }));
+             });
+  OperatorContext base;
+  JobExecutor executor(2, base);
+  auto r = executor.Run(spec);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(PartitionHolderTest, IntakePullBatchBlocksUntilFull) {
+  IntakePartitionHolder holder({"f", "intake", 0});
+  std::thread producer([&] {
+    for (int i = 0; i < 10; ++i) ASSERT_TRUE(holder.Push("rec" + std::to_string(i)).ok());
+  });
+  std::vector<std::string> batch;
+  EXPECT_TRUE(holder.PullBatch(10, &batch));
+  EXPECT_EQ(batch.size(), 10u);
+  producer.join();
+}
+
+TEST(PartitionHolderTest, EofDeliversPartialBatch) {
+  IntakePartitionHolder holder({"f", "intake", 0});
+  ASSERT_TRUE(holder.Push("only").ok());
+  holder.PushEof();
+  std::vector<std::string> batch;
+  EXPECT_TRUE(holder.PullBatch(100, &batch));  // partial batch on EOF (§6.1)
+  EXPECT_EQ(batch.size(), 1u);
+  batch.clear();
+  EXPECT_FALSE(holder.PullBatch(100, &batch));  // exhausted
+  EXPECT_TRUE(holder.ExhaustedForTest());
+  EXPECT_FALSE(holder.Push("late").ok());
+}
+
+TEST(PartitionHolderTest, StorageHolderCloseSemantics) {
+  StoragePartitionHolder holder({"f", "storage", 1});
+  Frame f;
+  f.Append(Rec(1, "x"));
+  ASSERT_TRUE(holder.Push(std::move(f)).ok());
+  holder.Close();
+  Frame out;
+  EXPECT_TRUE(holder.Pop(&out));
+  EXPECT_FALSE(holder.Pop(&out));
+  EXPECT_EQ(holder.stats().records_in, 1u);
+  EXPECT_EQ(holder.stats().records_out, 1u);
+}
+
+TEST(PartitionHolderManagerTest, RegistryLifecycle) {
+  PartitionHolderManager mgr;
+  auto intake = std::make_shared<IntakePartitionHolder>(
+      PartitionHolderId{"feed", "intake", 0});
+  ASSERT_TRUE(mgr.RegisterIntake(intake).ok());
+  EXPECT_EQ(mgr.RegisterIntake(intake).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(mgr.FindIntake({"feed", "intake", 0}), intake);
+  EXPECT_EQ(mgr.FindIntake({"feed", "intake", 1}), nullptr);
+  ASSERT_TRUE(mgr.Unregister({"feed", "intake", 0}).ok());
+  EXPECT_TRUE(mgr.Unregister({"feed", "intake", 0}).IsNotFound());
+}
+
+struct CountingArtifact : JobArtifact {
+  int node;
+};
+
+TEST(PredeployedJobManagerTest, DeployInvokeUndeploy) {
+  PredeployedJobManager mgr;
+  int compiles = 0;
+  ASSERT_TRUE(mgr.Deploy("job1", 3,
+                         [&](size_t node) -> Result<std::unique_ptr<JobArtifact>> {
+                           ++compiles;
+                           auto a = std::make_unique<CountingArtifact>();
+                           a->node = static_cast<int>(node);
+                           return std::unique_ptr<JobArtifact>(std::move(a));
+                         })
+                  .ok());
+  EXPECT_EQ(compiles, 3);  // compiled once per node at deploy time
+  EXPECT_TRUE(mgr.IsDeployed("job1"));
+  for (int i = 0; i < 10; ++i) mgr.RecordInvocation("job1");
+  // Invocations do not recompile.
+  EXPECT_EQ(compiles, 3);
+  EXPECT_EQ(mgr.stats().invocations, 10u);
+  auto* artifact = dynamic_cast<CountingArtifact*>(mgr.Get("job1", 2));
+  ASSERT_NE(artifact, nullptr);
+  EXPECT_EQ(artifact->node, 2);
+  EXPECT_EQ(mgr.Get("job1", 9), nullptr);
+  ASSERT_TRUE(mgr.Undeploy("job1").ok());
+  EXPECT_FALSE(mgr.IsDeployed("job1"));
+  EXPECT_EQ(mgr.Get("job1", 0), nullptr);
+}
+
+}  // namespace
+}  // namespace idea::runtime

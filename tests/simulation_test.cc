@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "feed/simulation.h"
+#include "sqlpp/parser.h"
+#include "workload/tweets.h"
+#include "sqlpp/parser.h"
+#include "workload/usecases.h"
+
+namespace idea::feed {
+namespace {
+
+/// Fixture: catalog with tweet + SafetyRating schema and data, UDFs loaded.
+class SimulationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ApplyDdl(workload::TweetDdl());
+    const auto& uc = workload::GetUseCase(workload::UseCaseId::kSafetyRating);
+    ApplyDdl(uc.ddl);
+    RegisterFunction(uc.function_ddl);
+    sizes_ = workload::SimulatorScaleSizes().Scaled(0.1);
+    ASSERT_TRUE(workload::LoadUseCaseData(&catalog_, uc, sizes_, 200, 1).ok());
+    raw_ = *workload::TweetGenerator::GenerateJson(600, {.seed = 3, .country_domain = 200});
+    tweet_type_ = catalog_.FindDatatype("TweetType");
+  }
+
+  void ApplyDdl(const std::string& script) {
+    auto stmts = sqlpp::ParseScript(script);
+    ASSERT_TRUE(stmts.ok());
+    for (const auto& stmt : *stmts) {
+      if (stmt.kind == sqlpp::StatementKind::kCreateType) {
+        std::vector<adm::FieldSpec> fields;
+        for (const auto& f : stmt.create_type.fields) {
+          fields.push_back({f.name, *adm::FieldTypeFromName(f.type_name), f.optional});
+        }
+        (void)catalog_.CreateDatatype(adm::Datatype(stmt.create_type.name, fields));
+      } else if (stmt.kind == sqlpp::StatementKind::kCreateDataset) {
+        (void)catalog_.CreateDataset(stmt.create_dataset.name,
+                                     stmt.create_dataset.type_name,
+                                     stmt.create_dataset.primary_key);
+      } else if (stmt.kind == sqlpp::StatementKind::kCreateIndex) {
+        auto ds = catalog_.FindDataset(stmt.create_index.dataset);
+        ASSERT_NE(ds, nullptr);
+        (void)ds->CreateIndex(stmt.create_index.name, stmt.create_index.field,
+                              stmt.create_index.index_type);
+      }
+    }
+  }
+
+  void RegisterFunction(const std::string& fn_ddl) {
+    auto fn = sqlpp::ParseStatement(fn_ddl);
+    ASSERT_TRUE(fn.ok());
+    sqlpp::SqlppFunctionDef def;
+    def.name = fn->create_function.name;
+    def.params = fn->create_function.params;
+    def.body = std::shared_ptr<const sqlpp::SelectStatement>(
+        std::move(fn->create_function.body));
+    ASSERT_TRUE(udfs_.RegisterSqlpp(std::move(def), false).ok());
+  }
+
+  SimReport MustRun(SimConfig config) {
+    // Each run targets a fresh output dataset.
+    static int counter = 0;
+    std::string target = "SimOut" + std::to_string(counter++);
+    EXPECT_TRUE(catalog_.CreateDataset(target, "TweetType", "id").ok());
+    FeedSimulation sim(&catalog_, &udfs_);
+    auto r = sim.Run(config, raw_, target, tweet_type_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : SimReport{};
+  }
+
+  storage::Catalog catalog_;
+  UdfRegistry udfs_;
+  workload::RefSizes sizes_;
+  std::vector<std::string> raw_;
+  const adm::Datatype* tweet_type_ = nullptr;
+};
+
+TEST_F(SimulationTest, DynamicIngestionStoresEverything) {
+  SimConfig config;
+  config.nodes = 4;
+  config.batch_size = 100;
+  SimReport report = MustRun(config);
+  EXPECT_EQ(report.records, raw_.size());
+  EXPECT_EQ(report.computing_jobs, 6u);  // 600 / 100
+  EXPECT_GT(report.throughput_rps, 0.0);
+  EXPECT_GT(report.refresh_period_us, 0.0);
+}
+
+TEST_F(SimulationTest, EnrichmentActuallyHappens) {
+  SimConfig config;
+  config.nodes = 4;
+  config.batch_size = 150;
+  config.udf = "enrichTweetQ1";
+  std::string target = "EnrichedTweets";
+  FeedSimulation sim(&catalog_, &udfs_);
+  auto report = sim.Run(config, raw_, target, tweet_type_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto snap = catalog_.FindDataset(target)->Scan();
+  ASSERT_EQ(snap->size(), raw_.size());
+  for (size_t i = 0; i < snap->size(); i += 97) {
+    EXPECT_NE((*snap)[i].GetField("safety_rating"), nullptr);
+  }
+  EXPECT_FALSE(report->plan_explain.empty());
+}
+
+TEST_F(SimulationTest, LargerBatchesMeanFewerJobsAndLessOverhead) {
+  SimConfig small;
+  small.nodes = 6;
+  small.batch_size = 50;
+  small.udf = "enrichTweetQ1";
+  SimConfig big = small;
+  big.batch_size = 200;
+  SimReport r_small = MustRun(small);
+  SimReport r_big = MustRun(big);
+  EXPECT_GT(r_small.computing_jobs, r_big.computing_jobs);
+  EXPECT_GT(r_small.invoke_us, r_big.invoke_us);
+  // Refresh period grows with batch size (Figure 26).
+  EXPECT_GT(r_big.refresh_period_us, r_small.refresh_period_us);
+}
+
+TEST_F(SimulationTest, PredeployAblationAddsCompileCostPerJob) {
+  SimConfig with;
+  with.nodes = 4;
+  with.batch_size = 100;
+  SimConfig without = with;
+  without.predeployed = false;
+  SimReport a = MustRun(with);
+  SimReport b = MustRun(without);
+  EXPECT_GT(b.invoke_us, a.invoke_us);
+  double extra = b.invoke_us - a.invoke_us;
+  double expected = with.costs.compile_us * static_cast<double>(a.computing_jobs);
+  EXPECT_NEAR(extra, expected, expected * 0.01);
+}
+
+TEST_F(SimulationTest, FusedInsertJobSerializesStorage) {
+  SimConfig decoupled;
+  decoupled.nodes = 4;
+  decoupled.batch_size = 100;
+  SimConfig fused = decoupled;
+  fused.fused_insert_job = true;
+  SimReport a = MustRun(decoupled);
+  SimReport b = MustRun(fused);
+  // Fusing folds the storage+log-flush time into the critical path (§5.2).
+  EXPECT_GT(b.compute_us, a.compute_us);
+}
+
+TEST_F(SimulationTest, StaticPipelineRunsAndRejectsStatefulSqlpp) {
+  SimConfig config;
+  config.nodes = 4;
+  config.dynamic = false;
+  SimReport r = MustRun(config);
+  EXPECT_GT(r.throughput_rps, 0.0);
+  EXPECT_EQ(r.computing_jobs, 0u);  // one long coupled job, no invocations
+
+  SimConfig bad = config;
+  bad.udf = "enrichTweetQ1";  // stateful
+  static int counter = 1000;
+  std::string target = "SimOutX" + std::to_string(counter++);
+  ASSERT_TRUE(catalog_.CreateDataset(target, "TweetType", "id").ok());
+  FeedSimulation sim(&catalog_, &udfs_);
+  auto err = sim.Run(bad, raw_, target, tweet_type_);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(SimulationTest, BalancedIntakeDividesIntakeTime) {
+  SimConfig single;
+  single.nodes = 6;
+  single.batch_size = 100;
+  SimConfig balanced = single;
+  balanced.balanced_intake = true;
+  SimReport a = MustRun(single);
+  SimReport b = MustRun(balanced);
+  EXPECT_NEAR(b.intake_us, a.intake_us / 6.0, a.intake_us * 0.5);
+}
+
+TEST_F(SimulationTest, UpdateClientAppliesUpdatesInSimulatedTime) {
+  SimConfig config;
+  config.nodes = 4;
+  config.batch_size = 50;
+  config.udf = "enrichTweetQ1";
+  config.update_dataset = "SafetyRatings";
+  config.update_rate = 2000;  // high rate so short sims still update
+  config.update_dataset_size = sizes_.safety_ratings;
+  config.country_domain = 200;
+  SimReport r = MustRun(config);
+  EXPECT_GT(r.updates_applied, 0u);
+  auto ds = catalog_.FindDataset("SafetyRatings");
+  EXPECT_GT(ds->stats().upserts, sizes_.safety_ratings);
+}
+
+TEST_F(SimulationTest, MoreNodesReduceComputeShare) {
+  SimConfig small;
+  small.nodes = 2;
+  small.batch_size = 200;
+  small.udf = "enrichTweetQ1";
+  small.balanced_intake = true;
+  SimConfig big = small;
+  big.nodes = 16;
+  SimReport r2 = MustRun(small);
+  SimReport r16 = MustRun(big);
+  // Per-batch parallel work shrinks with N, but invocation overhead grows.
+  EXPECT_GT(r16.invoke_us, r2.invoke_us);
+  EXPECT_LT(r16.compute_us - r16.invoke_us, r2.compute_us - r2.invoke_us);
+}
+
+}  // namespace
+}  // namespace idea::feed

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "sqlpp/lexer.h"
+#include "sqlpp/parser.h"
+#include "workload/usecases.h"
+
+namespace idea::sqlpp {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT t.a, 'str' FROM ds WHERE x >= 1.5 AND y != 2;");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->front().type, TokenType::kKeyword);
+  EXPECT_EQ(tokens->front().text, "SELECT");
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Tokenize("select SeLeCt SELECT");
+  ASSERT_TRUE(tokens.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*tokens)[i].type, TokenType::kKeyword);
+    EXPECT_EQ((*tokens)[i].text, "SELECT");
+  }
+}
+
+TEST(LexerTest, LibraryQualifiedFunction) {
+  auto tokens = Tokenize("testlib#removeSpecial(x)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "testlib#removeSpecial");
+}
+
+TEST(LexerTest, CommentsAndHints) {
+  auto tokens = Tokenize("a -- comment\n /* block */ b /*+ skip-index */ c");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);  // a, b, hint, c, end
+  EXPECT_EQ((*tokens)[2].type, TokenType::kHint);
+  EXPECT_EQ((*tokens)[2].text, "skip-index");
+}
+
+TEST(LexerTest, StringsWithBothQuotes) {
+  auto tokens = Tokenize(R"('ab' "cd" 'e\'f')");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "ab");
+  EXPECT_EQ((*tokens)[1].text, "cd");
+  EXPECT_EQ((*tokens)[2].text, "e'f");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'abc").ok());
+  EXPECT_FALSE(Tokenize("/* unclosed").ok());
+}
+
+// ---------------------------------------------------------------------------
+
+Statement MustParse(const std::string& text) {
+  auto r = ParseStatement(text);
+  EXPECT_TRUE(r.ok()) << text << "\n -> " << r.status().ToString();
+  return r.ok() ? std::move(r).value() : Statement{};
+}
+
+TEST(ParserTest, Figure1CreateTypeAndDataset) {
+  Statement t = MustParse(R"(
+    CREATE TYPE TweetType AS OPEN { id : int64, text: string };)");
+  ASSERT_EQ(t.kind, StatementKind::kCreateType);
+  EXPECT_EQ(t.create_type.name, "TweetType");
+  ASSERT_EQ(t.create_type.fields.size(), 2u);
+  EXPECT_EQ(t.create_type.fields[0].name, "id");
+  EXPECT_EQ(t.create_type.fields[0].type_name, "int64");
+
+  Statement d = MustParse("CREATE DATASET Tweets(TweetType) PRIMARY KEY id;");
+  ASSERT_EQ(d.kind, StatementKind::kCreateDataset);
+  EXPECT_EQ(d.create_dataset.primary_key, "id");
+}
+
+TEST(ParserTest, Figure3InsertConstant) {
+  Statement s = MustParse(R"(
+    INSERT INTO Tweets ([
+      {"id":0, "text": "Let there be light"}
+    ]);)");
+  ASSERT_EQ(s.kind, StatementKind::kInsert);
+  ASSERT_NE(s.insert.collection, nullptr);
+  EXPECT_EQ(s.insert.collection->kind, ExprKind::kArrayConstructor);
+}
+
+TEST(ParserTest, Figure4CreateFeed) {
+  Statement s = MustParse(R"(
+    CREATE FEED TweetFeed WITH {
+      "type-name" : "TweetType",
+      "adapter-name": "socket_adapter",
+      "format" : "JSON",
+      "sockets": "127.0.0.1:10001",
+      "address-type": "IP"
+    };)");
+  ASSERT_EQ(s.kind, StatementKind::kCreateFeed);
+  EXPECT_EQ(s.create_feed.config.at("type-name"), "TweetType");
+  EXPECT_EQ(s.create_feed.config.at("sockets"), "127.0.0.1:10001");
+
+  Statement c = MustParse("CONNECT FEED TweetFeed TO DATASET Tweets;");
+  EXPECT_EQ(c.connect_feed.dataset, "Tweets");
+  Statement st = MustParse("START FEED TweetFeed;");
+  EXPECT_EQ(st.kind, StatementKind::kStartFeed);
+  Statement sp = MustParse("STOP FEED TweetFeed;");
+  EXPECT_EQ(sp.kind, StatementKind::kStopFeed);
+}
+
+TEST(ParserTest, Figure6UsTweetSafetyCheck) {
+  Statement s = MustParse(R"(
+    CREATE FUNCTION USTweetSafetyCheck(tweet) {
+      LET safety_check_flag =
+        CASE tweet.country = "US" AND contains(tweet.text, "bomb")
+          WHEN true THEN "Red" ELSE "Green"
+        END
+      SELECT tweet.*, safety_check_flag
+    };)");
+  ASSERT_EQ(s.kind, StatementKind::kCreateFunction);
+  EXPECT_EQ(s.create_function.params, std::vector<std::string>{"tweet"});
+  const SelectStatement& body = *s.create_function.body;
+  ASSERT_EQ(body.lets.size(), 1u);
+  EXPECT_TRUE(body.lets[0].pre_from);
+  EXPECT_EQ(body.lets[0].expr->kind, ExprKind::kCase);
+  ASSERT_EQ(body.projections.size(), 2u);
+  EXPECT_TRUE(body.projections[0].star);
+}
+
+TEST(ParserTest, Figure9AnalyticalQuery) {
+  Statement s = MustParse(R"(
+    SELECT tweet.country Country, count(tweet) Num
+    FROM Tweets tweet
+    LET enrichedTweet = tweetSafetyCheck(tweet)[0]
+    WHERE enrichedTweet.safety_check_flag = "Red"
+    GROUP BY tweet.country;)");
+  ASSERT_EQ(s.kind, StatementKind::kQuery);
+  const SelectStatement& q = *s.query;
+  ASSERT_EQ(q.projections.size(), 2u);
+  EXPECT_EQ(q.projections[0].alias, "Country");
+  EXPECT_EQ(q.projections[1].alias, "Num");
+  ASSERT_EQ(q.lets.size(), 1u);
+  EXPECT_FALSE(q.lets[0].pre_from);
+  EXPECT_EQ(q.lets[0].expr->kind, ExprKind::kIndexAccess);
+  ASSERT_EQ(q.group_by.size(), 1u);
+}
+
+TEST(ParserTest, Figure10InsertWithPreFromLet) {
+  Statement s = MustParse(R"(
+    INSERT INTO EnrichedTweets(
+      LET TweetsBatch = ([{"id":0}, {"id":1}])
+      SELECT VALUE tweetSafetyCheck(tweet)
+      FROM TweetsBatch tweet
+    );)");
+  ASSERT_EQ(s.kind, StatementKind::kInsert);
+  ASSERT_NE(s.insert.query, nullptr);
+  ASSERT_EQ(s.insert.query->lets.size(), 1u);
+  EXPECT_TRUE(s.insert.query->lets[0].pre_from);
+  ASSERT_EQ(s.insert.query->from.size(), 1u);
+  EXPECT_EQ(s.insert.query->from[0].dataset, "TweetsBatch");
+}
+
+TEST(ParserTest, Figure11NotInSubquery) {
+  Statement s = MustParse(R"(
+    INSERT INTO EnrichedTweets(
+      SELECT VALUE tweetSafetyCheck(tweet)
+      FROM Tweets tweet WHERE tweet.id NOT IN
+        (SELECT VALUE enrichedTweet.id
+         FROM EnrichedTweets enrichedTweet)
+    );)");
+  ASSERT_NE(s.insert.query, nullptr);
+  ASSERT_NE(s.insert.query->where, nullptr);
+  EXPECT_EQ(s.insert.query->where->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, Figure12ConnectWithApply) {
+  Statement s = MustParse(
+      "CONNECT FEED TweetFeed TO DATASET EnrichedTweets APPLY FUNCTION "
+      "USTweetSafetyCheck;");
+  EXPECT_EQ(s.connect_feed.apply_function, "USTweetSafetyCheck");
+}
+
+TEST(ParserTest, Figure14FeedDatasource) {
+  Statement s = MustParse(R"(
+    INSERT INTO EnrichedTweets(
+      SELECT VALUE tweetSafetyCheck(t)
+      FROM FEED Tweets t);)");
+  ASSERT_NE(s.insert.query, nullptr);
+  EXPECT_EQ(s.insert.query->from[0].source, FromClause::Source::kFeed);
+}
+
+TEST(ParserTest, Figure18NestedSubqueryWithGroupOrderLimit) {
+  Statement s = MustParse(workload::HighRiskTweetCheckFunctionDdl());
+  ASSERT_EQ(s.kind, StatementKind::kCreateFunction);
+  const Expr& case_expr = *s.create_function.body->lets[0].expr;
+  ASSERT_EQ(case_expr.kind, ExprKind::kCase);
+  const Expr& in_expr = *case_expr.case_operand;
+  ASSERT_EQ(in_expr.kind, ExprKind::kIn);
+  ASSERT_NE(in_expr.subquery, nullptr);
+  EXPECT_EQ(in_expr.subquery->limit, 10);
+  EXPECT_EQ(in_expr.subquery->group_by.size(), 1u);
+  EXPECT_EQ(in_expr.subquery->order_by.size(), 1u);
+}
+
+TEST(ParserTest, CreateIndexVariants) {
+  Statement s = MustParse("CREATE INDEX locIdx ON monumentList(monument_location) TYPE RTREE;");
+  EXPECT_EQ(s.create_index.index_type, "rtree");
+  Statement b = MustParse("CREATE INDEX cIdx ON SensitiveWords(country);");
+  EXPECT_EQ(b.create_index.index_type, "btree");
+}
+
+TEST(ParserTest, SkipIndexHintOnFromItem) {
+  Statement s = MustParse(workload::NaiveNearbyMonumentsFunctionDdl());
+  const Expr& let = *s.create_function.body->lets[0].expr;
+  ASSERT_EQ(let.kind, ExprKind::kSubquery);
+  ASSERT_EQ(let.subquery->from.size(), 1u);
+  EXPECT_TRUE(let.subquery->from[0].hints.skip_index);
+}
+
+TEST(ParserTest, EveryUseCaseFunctionParses) {
+  for (const auto& uc : workload::AllUseCases()) {
+    auto ddl = ParseScript(uc.ddl);
+    EXPECT_TRUE(ddl.ok()) << uc.name << ": " << ddl.status().ToString();
+    auto fn = ParseStatement(uc.function_ddl);
+    ASSERT_TRUE(fn.ok()) << uc.name << ": " << fn.status().ToString();
+    EXPECT_EQ(fn->kind, StatementKind::kCreateFunction);
+    EXPECT_EQ(fn->create_function.name, uc.function_name);
+  }
+}
+
+TEST(ParserTest, ScriptSplitsStatements) {
+  auto stmts = ParseScript(workload::TweetDdl());
+  ASSERT_TRUE(stmts.ok());
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+TEST(ParserTest, UpsertStatement) {
+  Statement s = MustParse(R"(UPSERT INTO SensitiveWords ([{"wid": "W1"}]);)");
+  EXPECT_EQ(s.kind, StatementKind::kUpsert);
+  EXPECT_TRUE(s.insert.upsert);
+}
+
+TEST(ParserTest, DropStatements) {
+  EXPECT_EQ(MustParse("DROP DATASET Tweets;").kind, StatementKind::kDropDataset);
+  Statement s = MustParse("DROP FUNCTION f IF EXISTS;");
+  EXPECT_EQ(s.kind, StatementKind::kDropFunction);
+  EXPECT_TRUE(s.drop.if_exists);
+}
+
+class ParserErrorCase : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserErrorCase, Rejected) {
+  EXPECT_FALSE(ParseStatement(GetParam()).ok()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ParserErrorCase,
+    ::testing::Values("SELECT", "CREATE DATASET x PRIMARY KEY id;",
+                      "SELECT a FROM;", "INSERT INTO t;", "CREATE TYPE T AS {",
+                      "FROM x SELECT", "SELECT a WHERE", "CONNECT FEED f;",
+                      "SELECT CASE WHEN true END FROM d x;"));
+
+TEST(ExpressionParseTest, Precedence) {
+  auto e = ParseExpression("1 + 2 * 3 = 7 AND NOT false");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->binary_op, BinaryOp::kAnd);
+  EXPECT_EQ((*e)->ToString(), "(((1 + (2 * 3)) = 7) AND NOT false)");
+}
+
+TEST(ExpressionParseTest, CloneAndEqualsAgree) {
+  auto e = ParseExpression(
+      "CASE x WHEN 1 THEN f(a.b, [1,2]) ELSE {\"k\": -y} END");
+  ASSERT_TRUE(e.ok());
+  ExprPtr copy = (*e)->Clone();
+  EXPECT_TRUE(Expr::Equals(**e, *copy));
+  copy->case_arms[0].then->args.clear();
+  EXPECT_FALSE(Expr::Equals(**e, *copy));
+}
+
+}  // namespace
+}  // namespace idea::sqlpp

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "storage/btree_index.h"
+#include "storage/lsm_dataset.h"
+#include "storage/rtree_index.h"
+
+namespace idea::storage {
+namespace {
+
+using adm::Point;
+using adm::Rectangle;
+using adm::Value;
+
+TEST(BTreeIndexTest, InsertSearchRemove) {
+  BTreeIndex idx("f");
+  idx.Insert(Value::MakeString("a"), Value::MakeInt(1));
+  idx.Insert(Value::MakeString("a"), Value::MakeInt(2));
+  idx.Insert(Value::MakeString("b"), Value::MakeInt(3));
+  std::vector<Value> out;
+  idx.SearchEquals(Value::MakeString("a"), &out);
+  EXPECT_EQ(out.size(), 2u);
+  idx.Remove(Value::MakeString("a"), Value::MakeInt(1));
+  out.clear();
+  idx.SearchEquals(Value::MakeString("a"), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].AsInt(), 2);
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(BTreeIndexTest, RangeSearch) {
+  BTreeIndex idx("f");
+  for (int i = 0; i < 10; ++i) idx.Insert(Value::MakeInt(i), Value::MakeInt(i * 100));
+  std::vector<Value> out;
+  idx.SearchRange(Value::MakeInt(3), Value::MakeInt(6), &out);
+  EXPECT_EQ(out.size(), 4u);
+}
+
+class RTreeProperty : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RTreeProperty, SearchMatchesBruteForce) {
+  const size_t n = GetParam();
+  Rng rng(n * 31 + 7);
+  RTreeIndex idx("loc", /*max_entries=*/8);
+  std::vector<std::pair<Point, int64_t>> ground_truth;
+  for (size_t i = 0; i < n; ++i) {
+    Point p{rng.NextDouble() * 100, rng.NextDouble() * 100};
+    idx.Insert(Value::MakePoint(p), Value::MakeInt(static_cast<int64_t>(i)));
+    ground_truth.emplace_back(p, static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(idx.size(), n);
+  EXPECT_TRUE(idx.CheckInvariants());
+  for (int q = 0; q < 30; ++q) {
+    double x = rng.NextDouble() * 100, y = rng.NextDouble() * 100;
+    Rectangle query{{x, y}, {x + rng.NextDouble() * 20, y + rng.NextDouble() * 20}};
+    std::vector<Value> found;
+    idx.Search(query, &found);
+    std::vector<int64_t> got;
+    for (const auto& v : found) got.push_back(v.AsInt());
+    std::sort(got.begin(), got.end());
+    std::vector<int64_t> want;
+    for (const auto& [p, id] : ground_truth) {
+      if (adm::RectContainsPoint(query, p)) want.push_back(id);
+    }
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RTreeProperty,
+                         ::testing::Values(0, 1, 7, 8, 9, 64, 500, 2000));
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  Rng rng(3);
+  RTreeIndex idx("loc", 8);
+  EXPECT_EQ(idx.Height(), 0u);
+  for (int i = 0; i < 1000; ++i) {
+    idx.Insert(Value::MakePoint({rng.NextDouble(), rng.NextDouble()}),
+               Value::MakeInt(i));
+  }
+  EXPECT_GE(idx.Height(), 3u);
+  EXPECT_LE(idx.Height(), 7u);
+  EXPECT_TRUE(idx.CheckInvariants());
+}
+
+TEST(RTreeTest, RemoveMaintainsInvariants) {
+  Rng rng(17);
+  RTreeIndex idx("loc", 8);
+  std::vector<std::pair<Point, int64_t>> items;
+  for (int i = 0; i < 400; ++i) {
+    Point p{rng.NextDouble() * 50, rng.NextDouble() * 50};
+    idx.Insert(Value::MakePoint(p), Value::MakeInt(i));
+    items.emplace_back(p, i);
+  }
+  // Remove every other item in random-ish order.
+  for (size_t i = 0; i < items.size(); i += 2) {
+    EXPECT_TRUE(idx.Remove(Value::MakePoint(items[i].first),
+                           Value::MakeInt(items[i].second)));
+  }
+  EXPECT_EQ(idx.size(), items.size() / 2);
+  EXPECT_TRUE(idx.CheckInvariants());
+  // Removed entries are gone; kept entries remain findable.
+  for (size_t i = 0; i < items.size(); ++i) {
+    Rectangle q{items[i].first, items[i].first};
+    std::vector<Value> found;
+    idx.Search(q, &found);
+    bool present = false;
+    for (const auto& v : found) present |= v.AsInt() == items[i].second;
+    EXPECT_EQ(present, i % 2 == 1) << i;
+  }
+}
+
+TEST(RTreeTest, RemoveNonexistentReturnsFalse) {
+  RTreeIndex idx("loc");
+  idx.Insert(Value::MakePoint({1, 1}), Value::MakeInt(1));
+  EXPECT_FALSE(idx.Remove(Value::MakePoint({2, 2}), Value::MakeInt(1)));
+  EXPECT_FALSE(idx.Remove(Value::MakePoint({1, 1}), Value::MakeInt(9)));
+  EXPECT_EQ(idx.size(), 1u);
+}
+
+TEST(RTreeTest, IndexesRectanglesAndCircles) {
+  RTreeIndex idx("geom");
+  idx.Insert(Value::MakeRectangle({{0, 0}, {10, 10}}), Value::MakeString("rect"));
+  idx.Insert(Value::MakeCircle({{20, 20}, 2}), Value::MakeString("circ"));
+  idx.Insert(Value::MakeInt(5), Value::MakeString("ignored"));  // non-geometry
+  EXPECT_EQ(idx.size(), 2u);
+  std::vector<Value> found;
+  idx.Search({{5, 5}, {6, 6}}, &found);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].AsString(), "rect");
+  found.clear();
+  idx.Search({{19, 19}, {21, 21}}, &found);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].AsString(), "circ");
+}
+
+TEST(LsmIndexMaintenanceTest, SecondaryIndexesFollowUpserts) {
+  adm::Datatype type("T", {{"id", adm::FieldType::kInt64, false}});
+  LsmDataset ds("d", type, "id");
+  ASSERT_TRUE(ds.CreateIndex("byName", "name", "btree").ok());
+  ASSERT_TRUE(ds.CreateIndex("byLoc", "loc", "rtree").ok());
+
+  Value rec = Value::MakeObject({{"id", Value::MakeInt(1)},
+                                 {"name", Value::MakeString("alpha")},
+                                 {"loc", Value::MakePoint({5, 5})}});
+  ASSERT_TRUE(ds.Upsert(rec).ok());
+
+  std::vector<Value> out;
+  ASSERT_TRUE(ds.ProbeIndexEquals("name", Value::MakeString("alpha"), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].GetField("id")->AsInt(), 1);
+
+  // Upsert with a new name: the old index entry must disappear.
+  Value rec2 = Value::MakeObject({{"id", Value::MakeInt(1)},
+                                  {"name", Value::MakeString("beta")},
+                                  {"loc", Value::MakePoint({7, 7})}});
+  ASSERT_TRUE(ds.Upsert(rec2).ok());
+  out.clear();
+  ASSERT_TRUE(ds.ProbeIndexEquals("name", Value::MakeString("alpha"), &out).ok());
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  ASSERT_TRUE(ds.ProbeIndexEquals("name", Value::MakeString("beta"), &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+
+  // Spatial probe follows the moved location.
+  out.clear();
+  ASSERT_TRUE(ds.ProbeIndexMbr("loc", {{6, 6}, {8, 8}}, &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  ASSERT_TRUE(ds.ProbeIndexMbr("loc", {{4, 4}, {6, 6}}, &out).ok());
+  EXPECT_TRUE(out.empty());
+
+  // Delete removes index entries.
+  ASSERT_TRUE(ds.Delete(Value::MakeInt(1)).ok());
+  out.clear();
+  ASSERT_TRUE(ds.ProbeIndexEquals("name", Value::MakeString("beta"), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LsmIndexMaintenanceTest, IndexBuildFromExistingData) {
+  adm::Datatype type("T", {{"id", adm::FieldType::kInt64, false}});
+  LsmDataset ds("d", type, "id");
+  for (int64_t i = 0; i < 100; ++i) {
+    Value rec = Value::MakeObject({{"id", Value::MakeInt(i)},
+                                   {"bucket", Value::MakeInt(i % 10)}});
+    ASSERT_TRUE(ds.Upsert(rec).ok());
+  }
+  ASSERT_TRUE(ds.CreateIndex("byBucket", "bucket", "btree").ok());
+  std::vector<Value> out;
+  ASSERT_TRUE(ds.ProbeIndexEquals("bucket", Value::MakeInt(3), &out).ok());
+  EXPECT_EQ(out.size(), 10u);
+  EXPECT_EQ(ds.IndexKindOn("bucket"), "btree");
+  EXPECT_TRUE(ds.HasIndexOn("bucket", /*spatial=*/false));
+  EXPECT_FALSE(ds.HasIndexOn("bucket", /*spatial=*/true));
+  EXPECT_TRUE(
+      ds.CreateIndex("dup", "bucket", "btree").code() == StatusCode::kAlreadyExists);
+  EXPECT_FALSE(ds.CreateIndex("bad", "x", "hash").ok());
+}
+
+}  // namespace
+}  // namespace idea::storage

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "adm/json.h"
+#include "storage/catalog.h"
+#include "storage/lsm_dataset.h"
+
+namespace idea::storage {
+namespace {
+
+using adm::Value;
+
+adm::Datatype SimpleType() {
+  return adm::Datatype("T", {{"id", adm::FieldType::kInt64, false}});
+}
+
+Value Rec(int64_t id, const std::string& payload = "p") {
+  return Value::MakeObject({{"id", Value::MakeInt(id)},
+                            {"payload", Value::MakeString(payload)}});
+}
+
+TEST(LsmDatasetTest, InsertGetScan) {
+  LsmDataset ds("d", SimpleType(), "id");
+  ASSERT_TRUE(ds.Insert(Rec(2)).ok());
+  ASSERT_TRUE(ds.Insert(Rec(1)).ok());
+  auto got = ds.Get(Value::MakeInt(1));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->GetField("payload")->AsString(), "p");
+  auto snap = ds.Scan();
+  ASSERT_EQ(snap->size(), 2u);
+  // Scan is key-ordered.
+  EXPECT_EQ((*snap)[0].GetField("id")->AsInt(), 1);
+}
+
+TEST(LsmDatasetTest, DuplicateInsertFails) {
+  LsmDataset ds("d", SimpleType(), "id");
+  ASSERT_TRUE(ds.Insert(Rec(1)).ok());
+  EXPECT_EQ(ds.Insert(Rec(1)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(LsmDatasetTest, UpsertReplaces) {
+  LsmDataset ds("d", SimpleType(), "id");
+  ASSERT_TRUE(ds.Upsert(Rec(1, "old")).ok());
+  ASSERT_TRUE(ds.Upsert(Rec(1, "new")).ok());
+  EXPECT_EQ(ds.Get(Value::MakeInt(1))->GetField("payload")->AsString(), "new");
+  EXPECT_EQ(ds.LiveRecordCount(), 1u);
+}
+
+TEST(LsmDatasetTest, DeleteMasksRecord) {
+  LsmDataset ds("d", SimpleType(), "id");
+  ASSERT_TRUE(ds.Insert(Rec(1)).ok());
+  ASSERT_TRUE(ds.Delete(Value::MakeInt(1)).ok());
+  EXPECT_TRUE(ds.Get(Value::MakeInt(1)).status().IsNotFound());
+  EXPECT_EQ(ds.LiveRecordCount(), 0u);
+  EXPECT_TRUE(ds.Delete(Value::MakeInt(1)).IsNotFound());
+  // Re-insert after delete works.
+  EXPECT_TRUE(ds.Insert(Rec(1)).ok());
+}
+
+TEST(LsmDatasetTest, MissingPrimaryKeyRejected) {
+  LsmDataset ds("d", SimpleType(), "id");
+  Value bad = Value::MakeObject({{"payload", Value::MakeString("x")}});
+  EXPECT_FALSE(ds.Upsert(bad).ok());
+}
+
+TEST(LsmDatasetTest, DatatypeValidationApplies) {
+  LsmDataset ds("d",
+                adm::Datatype("T", {{"id", adm::FieldType::kInt64, false},
+                                    {"when", adm::FieldType::kDateTime, false}}),
+                "id");
+  Value rec = Value::MakeObject({{"id", Value::MakeInt(1)},
+                                 {"when", Value::MakeString("2019-01-01T00:00:00Z")}});
+  ASSERT_TRUE(ds.Insert(rec).ok());
+  EXPECT_TRUE(ds.Get(Value::MakeInt(1))->GetField("when")->IsDateTime());
+  Value bad = Value::MakeObject({{"id", Value::MakeInt(2)},
+                                 {"when", Value::MakeString("garbage")}});
+  EXPECT_TRUE(ds.Insert(bad).IsTypeMismatch());
+}
+
+TEST(LsmDatasetTest, FlushAndCompaction) {
+  DatasetOptions opts;
+  opts.memtable_bytes = 2048;  // tiny: force flushes
+  opts.compaction_threshold = 3;
+  LsmDataset ds("d", SimpleType(), "id", opts);
+  for (int64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(ds.Upsert(Rec(i, std::string(32, 'x'))).ok());
+  }
+  DatasetStats stats = ds.stats();
+  EXPECT_GT(stats.flushes, 0u);
+  EXPECT_GT(stats.compactions, 0u);
+  EXPECT_LE(ds.ComponentCount(), opts.compaction_threshold + 1);
+  // All records remain visible through the merged read path.
+  EXPECT_EQ(ds.LiveRecordCount(), 500u);
+  for (int64_t i = 0; i < 500; i += 97) {
+    EXPECT_TRUE(ds.Get(Value::MakeInt(i)).ok()) << i;
+  }
+}
+
+TEST(LsmDatasetTest, NewestVersionWinsAcrossComponents) {
+  DatasetOptions opts;
+  opts.memtable_bytes = 1024;
+  LsmDataset ds("d", SimpleType(), "id", opts);
+  for (int round = 0; round < 5; ++round) {
+    for (int64_t i = 0; i < 50; ++i) {
+      ASSERT_TRUE(ds.Upsert(Rec(i, "v" + std::to_string(round))).ok());
+    }
+  }
+  EXPECT_EQ(ds.LiveRecordCount(), 50u);
+  EXPECT_EQ(ds.Get(Value::MakeInt(7))->GetField("payload")->AsString(), "v4");
+}
+
+TEST(LsmDatasetTest, WalRecordsAndFlushes) {
+  LsmDataset ds("d", SimpleType(), "id");
+  ASSERT_TRUE(ds.Insert(Rec(1)).ok());
+  ASSERT_TRUE(ds.Upsert(Rec(1, "u")).ok());
+  ASSERT_TRUE(ds.Delete(Value::MakeInt(1)).ok());
+  WalStats before = ds.wal_stats();
+  EXPECT_EQ(before.appends, 3u);
+  EXPECT_GT(before.unflushed_bytes, 0u);
+  ASSERT_TRUE(ds.FlushWal().ok());
+  WalStats after = ds.wal_stats();
+  EXPECT_EQ(after.flushes, 1u);
+  EXPECT_EQ(after.unflushed_bytes, 0u);
+}
+
+TEST(WalTest, ReadAllRoundTrips) {
+  Wal wal;
+  WalRecord r1{WalRecordType::kInsert, 1, Value::MakeInt(5), Rec(5)};
+  WalRecord r2{WalRecordType::kDelete, 2, Value::MakeInt(5), Value()};
+  ASSERT_TRUE(wal.Append(r1).ok());
+  ASSERT_TRUE(wal.Append(r2).ok());
+  ASSERT_TRUE(wal.Flush().ok());
+  auto records = wal.ReadAll();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].type, WalRecordType::kInsert);
+  EXPECT_EQ((*records)[0].record, r1.record);
+  EXPECT_EQ((*records)[1].type, WalRecordType::kDelete);
+  EXPECT_EQ((*records)[1].key.AsInt(), 5);
+}
+
+TEST(WalTest, FileBackedLog) {
+  std::string path = ::testing::TempDir() + "/idea_wal_test.log";
+  auto wal = Wal::OpenFile(path);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append({WalRecordType::kUpsert, 1, Value::MakeInt(1), Rec(1)}).ok());
+  ASSERT_TRUE((*wal)->Flush().ok());
+  EXPECT_EQ((*wal)->stats().flushes, 1u);
+}
+
+TEST(LsmDatasetTest, ConcurrentReadersAndWriter) {
+  LsmDataset ds("d", SimpleType(), "id");
+  for (int64_t i = 0; i < 100; ++i) ASSERT_TRUE(ds.Upsert(Rec(i)).ok());
+  std::atomic<uint64_t> reads{0};
+  std::thread writer([&] {
+    for (int64_t i = 0; i < 1000; ++i) {
+      (void)ds.Upsert(Rec(i % 100, "w" + std::to_string(i)));
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        auto snap = ds.Scan();
+        EXPECT_EQ(snap->size(), 100u);
+        reads.fetch_add(1);
+      }
+    });
+  }
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_GT(reads.load(), 0u);
+}
+
+TEST(CatalogTest, LifecycleAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateDatatype(SimpleType()).ok());
+  EXPECT_TRUE(catalog.CreateDatatype(SimpleType()).code() == StatusCode::kAlreadyExists);
+  ASSERT_TRUE(catalog.CreateDataset("D1", "T", "id").ok());
+  EXPECT_TRUE(catalog.CreateDataset("D1", "T", "id").code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_FALSE(catalog.CreateDataset("D2", "NoType", "id").ok());
+  EXPECT_TRUE(catalog.HasDataset("D1"));
+  EXPECT_NE(catalog.FindDataset("D1"), nullptr);
+  EXPECT_EQ(catalog.DatasetNames().size(), 1u);
+  ASSERT_TRUE(catalog.DropDataset("D1").ok());
+  EXPECT_FALSE(catalog.HasDataset("D1"));
+  EXPECT_TRUE(catalog.DropDataset("D1").IsNotFound());
+}
+
+TEST(CatalogAccessorTest, EpochCaching) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateDatatype(SimpleType()).ok());
+  ASSERT_TRUE(catalog.CreateDataset("D", "T", "id").ok());
+  auto ds = catalog.FindDataset("D");
+  ASSERT_TRUE(ds->Upsert(Rec(1)).ok());
+
+  CatalogAccessor cached(&catalog, /*cache=*/true);
+  auto snap1 = cached.GetSnapshot("D");
+  ASSERT_TRUE(snap1.ok());
+  EXPECT_EQ((*snap1)->size(), 1u);
+  ASSERT_TRUE(ds->Upsert(Rec(2)).ok());
+  // Same epoch: cached snapshot, update invisible.
+  EXPECT_EQ((*cached.GetSnapshot("D"))->size(), 1u);
+  cached.BeginEpoch();
+  EXPECT_EQ((*cached.GetSnapshot("D"))->size(), 2u);
+
+  CatalogAccessor uncached(&catalog, /*cache=*/false);
+  EXPECT_EQ((*uncached.GetSnapshot("D"))->size(), 2u);
+  ASSERT_TRUE(ds->Upsert(Rec(3)).ok());
+  EXPECT_EQ((*uncached.GetSnapshot("D"))->size(), 3u);
+}
+
+TEST(CatalogAccessorTest, IndexProbeKinds) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateDatatype(SimpleType()).ok());
+  ASSERT_TRUE(catalog.CreateDataset("D", "T", "id").ok());
+  auto ds = catalog.FindDataset("D");
+  ASSERT_TRUE(ds->CreateIndex("i1", "payload", "btree").ok());
+  CatalogAccessor accessor(&catalog, false);
+  auto probe = accessor.GetIndexProbe("D", "payload");
+  ASSERT_NE(probe, nullptr);
+  EXPECT_EQ(probe->kind(), sqlpp::IndexProbe::Kind::kEquality);
+  EXPECT_EQ(accessor.GetIndexProbe("D", "nope"), nullptr);
+  EXPECT_EQ(accessor.GetIndexProbe("NoDs", "payload"), nullptr);
+}
+
+}  // namespace
+}  // namespace idea::storage
