@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_basic_ingestion.dir/fig24_basic_ingestion.cc.o"
+  "CMakeFiles/fig24_basic_ingestion.dir/fig24_basic_ingestion.cc.o.d"
+  "fig24_basic_ingestion"
+  "fig24_basic_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_basic_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

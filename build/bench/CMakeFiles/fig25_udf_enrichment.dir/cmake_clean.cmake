@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig25_udf_enrichment.dir/fig25_udf_enrichment.cc.o"
+  "CMakeFiles/fig25_udf_enrichment.dir/fig25_udf_enrichment.cc.o.d"
+  "fig25_udf_enrichment"
+  "fig25_udf_enrichment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig25_udf_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

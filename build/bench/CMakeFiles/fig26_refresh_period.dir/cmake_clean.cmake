@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig26_refresh_period.dir/fig26_refresh_period.cc.o"
+  "CMakeFiles/fig26_refresh_period.dir/fig26_refresh_period.cc.o.d"
+  "fig26_refresh_period"
+  "fig26_refresh_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig26_refresh_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

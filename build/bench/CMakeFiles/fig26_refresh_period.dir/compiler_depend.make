@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig26_refresh_period.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig27_update_rate.dir/fig27_update_rate.cc.o"
+  "CMakeFiles/fig27_update_rate.dir/fig27_update_rate.cc.o.d"
+  "fig27_update_rate"
+  "fig27_update_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig27_update_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig28_ref_scaleout.dir/fig28_ref_scaleout.cc.o"
+  "CMakeFiles/fig28_ref_scaleout.dir/fig28_ref_scaleout.cc.o.d"
+  "fig28_ref_scaleout"
+  "fig28_ref_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig28_ref_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig29_complex_udfs.dir/fig29_complex_udfs.cc.o"
+  "CMakeFiles/fig29_complex_udfs.dir/fig29_complex_udfs.cc.o.d"
+  "fig29_complex_udfs"
+  "fig29_complex_udfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig29_complex_udfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

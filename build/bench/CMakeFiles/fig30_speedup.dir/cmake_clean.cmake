@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig30_speedup.dir/fig30_speedup.cc.o"
+  "CMakeFiles/fig30_speedup.dir/fig30_speedup.cc.o.d"
+  "fig30_speedup"
+  "fig30_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig30_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig31_complex_scaleout.dir/fig31_complex_scaleout.cc.o"
+  "CMakeFiles/fig31_complex_scaleout.dir/fig31_complex_scaleout.cc.o.d"
+  "fig31_complex_scaleout"
+  "fig31_complex_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig31_complex_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_adm.dir/micro_adm.cc.o"
+  "CMakeFiles/micro_adm.dir/micro_adm.cc.o.d"
+  "micro_adm"
+  "micro_adm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_adm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_enrichment.dir/micro_enrichment.cc.o"
+  "CMakeFiles/micro_enrichment.dir/micro_enrichment.cc.o.d"
+  "micro_enrichment"
+  "micro_enrichment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_enrichment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

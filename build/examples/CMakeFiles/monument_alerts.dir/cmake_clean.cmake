@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monument_alerts.dir/monument_alerts.cpp.o"
+  "CMakeFiles/monument_alerts.dir/monument_alerts.cpp.o.d"
+  "monument_alerts"
+  "monument_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monument_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tweet_context.dir/tweet_context.cpp.o"
+  "CMakeFiles/tweet_context.dir/tweet_context.cpp.o.d"
+  "tweet_context"
+  "tweet_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tweet_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

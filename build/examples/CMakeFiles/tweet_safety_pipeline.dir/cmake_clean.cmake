@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tweet_safety_pipeline.dir/tweet_safety_pipeline.cpp.o"
+  "CMakeFiles/tweet_safety_pipeline.dir/tweet_safety_pipeline.cpp.o.d"
+  "tweet_safety_pipeline"
+  "tweet_safety_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tweet_safety_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adm/datatype.cc" "src/CMakeFiles/idea.dir/adm/datatype.cc.o" "gcc" "src/CMakeFiles/idea.dir/adm/datatype.cc.o.d"
+  "/root/repo/src/adm/json.cc" "src/CMakeFiles/idea.dir/adm/json.cc.o" "gcc" "src/CMakeFiles/idea.dir/adm/json.cc.o.d"
+  "/root/repo/src/adm/serde.cc" "src/CMakeFiles/idea.dir/adm/serde.cc.o" "gcc" "src/CMakeFiles/idea.dir/adm/serde.cc.o.d"
+  "/root/repo/src/adm/spatial.cc" "src/CMakeFiles/idea.dir/adm/spatial.cc.o" "gcc" "src/CMakeFiles/idea.dir/adm/spatial.cc.o.d"
+  "/root/repo/src/adm/temporal.cc" "src/CMakeFiles/idea.dir/adm/temporal.cc.o" "gcc" "src/CMakeFiles/idea.dir/adm/temporal.cc.o.d"
+  "/root/repo/src/adm/value.cc" "src/CMakeFiles/idea.dir/adm/value.cc.o" "gcc" "src/CMakeFiles/idea.dir/adm/value.cc.o.d"
+  "/root/repo/src/cluster/cluster_controller.cc" "src/CMakeFiles/idea.dir/cluster/cluster_controller.cc.o" "gcc" "src/CMakeFiles/idea.dir/cluster/cluster_controller.cc.o.d"
+  "/root/repo/src/cluster/cost_model.cc" "src/CMakeFiles/idea.dir/cluster/cost_model.cc.o" "gcc" "src/CMakeFiles/idea.dir/cluster/cost_model.cc.o.d"
+  "/root/repo/src/cluster/node_controller.cc" "src/CMakeFiles/idea.dir/cluster/node_controller.cc.o" "gcc" "src/CMakeFiles/idea.dir/cluster/node_controller.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/idea.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/idea.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/idea.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/idea.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/idea.dir/common/status.cc.o" "gcc" "src/CMakeFiles/idea.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/idea.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/idea.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/virtual_clock.cc" "src/CMakeFiles/idea.dir/common/virtual_clock.cc.o" "gcc" "src/CMakeFiles/idea.dir/common/virtual_clock.cc.o.d"
+  "/root/repo/src/feed/active_feed_manager.cc" "src/CMakeFiles/idea.dir/feed/active_feed_manager.cc.o" "gcc" "src/CMakeFiles/idea.dir/feed/active_feed_manager.cc.o.d"
+  "/root/repo/src/feed/adapter.cc" "src/CMakeFiles/idea.dir/feed/adapter.cc.o" "gcc" "src/CMakeFiles/idea.dir/feed/adapter.cc.o.d"
+  "/root/repo/src/feed/computing_job.cc" "src/CMakeFiles/idea.dir/feed/computing_job.cc.o" "gcc" "src/CMakeFiles/idea.dir/feed/computing_job.cc.o.d"
+  "/root/repo/src/feed/feed.cc" "src/CMakeFiles/idea.dir/feed/feed.cc.o" "gcc" "src/CMakeFiles/idea.dir/feed/feed.cc.o.d"
+  "/root/repo/src/feed/intake_job.cc" "src/CMakeFiles/idea.dir/feed/intake_job.cc.o" "gcc" "src/CMakeFiles/idea.dir/feed/intake_job.cc.o.d"
+  "/root/repo/src/feed/record_parser.cc" "src/CMakeFiles/idea.dir/feed/record_parser.cc.o" "gcc" "src/CMakeFiles/idea.dir/feed/record_parser.cc.o.d"
+  "/root/repo/src/feed/simulation.cc" "src/CMakeFiles/idea.dir/feed/simulation.cc.o" "gcc" "src/CMakeFiles/idea.dir/feed/simulation.cc.o.d"
+  "/root/repo/src/feed/static_pipeline.cc" "src/CMakeFiles/idea.dir/feed/static_pipeline.cc.o" "gcc" "src/CMakeFiles/idea.dir/feed/static_pipeline.cc.o.d"
+  "/root/repo/src/feed/storage_job.cc" "src/CMakeFiles/idea.dir/feed/storage_job.cc.o" "gcc" "src/CMakeFiles/idea.dir/feed/storage_job.cc.o.d"
+  "/root/repo/src/feed/udf.cc" "src/CMakeFiles/idea.dir/feed/udf.cc.o" "gcc" "src/CMakeFiles/idea.dir/feed/udf.cc.o.d"
+  "/root/repo/src/instance/instance.cc" "src/CMakeFiles/idea.dir/instance/instance.cc.o" "gcc" "src/CMakeFiles/idea.dir/instance/instance.cc.o.d"
+  "/root/repo/src/runtime/connectors.cc" "src/CMakeFiles/idea.dir/runtime/connectors.cc.o" "gcc" "src/CMakeFiles/idea.dir/runtime/connectors.cc.o.d"
+  "/root/repo/src/runtime/frame.cc" "src/CMakeFiles/idea.dir/runtime/frame.cc.o" "gcc" "src/CMakeFiles/idea.dir/runtime/frame.cc.o.d"
+  "/root/repo/src/runtime/job_executor.cc" "src/CMakeFiles/idea.dir/runtime/job_executor.cc.o" "gcc" "src/CMakeFiles/idea.dir/runtime/job_executor.cc.o.d"
+  "/root/repo/src/runtime/job_spec.cc" "src/CMakeFiles/idea.dir/runtime/job_spec.cc.o" "gcc" "src/CMakeFiles/idea.dir/runtime/job_spec.cc.o.d"
+  "/root/repo/src/runtime/operators.cc" "src/CMakeFiles/idea.dir/runtime/operators.cc.o" "gcc" "src/CMakeFiles/idea.dir/runtime/operators.cc.o.d"
+  "/root/repo/src/runtime/partition_holder.cc" "src/CMakeFiles/idea.dir/runtime/partition_holder.cc.o" "gcc" "src/CMakeFiles/idea.dir/runtime/partition_holder.cc.o.d"
+  "/root/repo/src/runtime/predeployed.cc" "src/CMakeFiles/idea.dir/runtime/predeployed.cc.o" "gcc" "src/CMakeFiles/idea.dir/runtime/predeployed.cc.o.d"
+  "/root/repo/src/sqlpp/analyzer.cc" "src/CMakeFiles/idea.dir/sqlpp/analyzer.cc.o" "gcc" "src/CMakeFiles/idea.dir/sqlpp/analyzer.cc.o.d"
+  "/root/repo/src/sqlpp/ast.cc" "src/CMakeFiles/idea.dir/sqlpp/ast.cc.o" "gcc" "src/CMakeFiles/idea.dir/sqlpp/ast.cc.o.d"
+  "/root/repo/src/sqlpp/enrichment_plan.cc" "src/CMakeFiles/idea.dir/sqlpp/enrichment_plan.cc.o" "gcc" "src/CMakeFiles/idea.dir/sqlpp/enrichment_plan.cc.o.d"
+  "/root/repo/src/sqlpp/evaluator.cc" "src/CMakeFiles/idea.dir/sqlpp/evaluator.cc.o" "gcc" "src/CMakeFiles/idea.dir/sqlpp/evaluator.cc.o.d"
+  "/root/repo/src/sqlpp/functions.cc" "src/CMakeFiles/idea.dir/sqlpp/functions.cc.o" "gcc" "src/CMakeFiles/idea.dir/sqlpp/functions.cc.o.d"
+  "/root/repo/src/sqlpp/lexer.cc" "src/CMakeFiles/idea.dir/sqlpp/lexer.cc.o" "gcc" "src/CMakeFiles/idea.dir/sqlpp/lexer.cc.o.d"
+  "/root/repo/src/sqlpp/parser.cc" "src/CMakeFiles/idea.dir/sqlpp/parser.cc.o" "gcc" "src/CMakeFiles/idea.dir/sqlpp/parser.cc.o.d"
+  "/root/repo/src/storage/btree_index.cc" "src/CMakeFiles/idea.dir/storage/btree_index.cc.o" "gcc" "src/CMakeFiles/idea.dir/storage/btree_index.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/idea.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/idea.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/component.cc" "src/CMakeFiles/idea.dir/storage/component.cc.o" "gcc" "src/CMakeFiles/idea.dir/storage/component.cc.o.d"
+  "/root/repo/src/storage/lsm_dataset.cc" "src/CMakeFiles/idea.dir/storage/lsm_dataset.cc.o" "gcc" "src/CMakeFiles/idea.dir/storage/lsm_dataset.cc.o.d"
+  "/root/repo/src/storage/memtable.cc" "src/CMakeFiles/idea.dir/storage/memtable.cc.o" "gcc" "src/CMakeFiles/idea.dir/storage/memtable.cc.o.d"
+  "/root/repo/src/storage/rtree_index.cc" "src/CMakeFiles/idea.dir/storage/rtree_index.cc.o" "gcc" "src/CMakeFiles/idea.dir/storage/rtree_index.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/idea.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/idea.dir/storage/wal.cc.o.d"
+  "/root/repo/src/workload/native_udfs.cc" "src/CMakeFiles/idea.dir/workload/native_udfs.cc.o" "gcc" "src/CMakeFiles/idea.dir/workload/native_udfs.cc.o.d"
+  "/root/repo/src/workload/reference_data.cc" "src/CMakeFiles/idea.dir/workload/reference_data.cc.o" "gcc" "src/CMakeFiles/idea.dir/workload/reference_data.cc.o.d"
+  "/root/repo/src/workload/tweets.cc" "src/CMakeFiles/idea.dir/workload/tweets.cc.o" "gcc" "src/CMakeFiles/idea.dir/workload/tweets.cc.o.d"
+  "/root/repo/src/workload/update_client.cc" "src/CMakeFiles/idea.dir/workload/update_client.cc.o" "gcc" "src/CMakeFiles/idea.dir/workload/update_client.cc.o.d"
+  "/root/repo/src/workload/usecases.cc" "src/CMakeFiles/idea.dir/workload/usecases.cc.o" "gcc" "src/CMakeFiles/idea.dir/workload/usecases.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adm_temporal_spatial_test.dir/adm_temporal_spatial_test.cc.o"
+  "CMakeFiles/adm_temporal_spatial_test.dir/adm_temporal_spatial_test.cc.o.d"
+  "adm_temporal_spatial_test"
+  "adm_temporal_spatial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adm_temporal_spatial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

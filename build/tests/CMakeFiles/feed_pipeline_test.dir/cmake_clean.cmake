@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_pipeline_test.dir/feed_pipeline_test.cc.o"
+  "CMakeFiles/feed_pipeline_test.dir/feed_pipeline_test.cc.o.d"
+  "feed_pipeline_test"
+  "feed_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

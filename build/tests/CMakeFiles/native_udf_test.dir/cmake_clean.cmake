@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_udf_test.dir/native_udf_test.cc.o"
+  "CMakeFiles/native_udf_test.dir/native_udf_test.cc.o.d"
+  "native_udf_test"
+  "native_udf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_udf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

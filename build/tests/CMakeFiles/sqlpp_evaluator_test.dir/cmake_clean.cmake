@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlpp_evaluator_test.dir/sqlpp_evaluator_test.cc.o"
+  "CMakeFiles/sqlpp_evaluator_test.dir/sqlpp_evaluator_test.cc.o.d"
+  "sqlpp_evaluator_test"
+  "sqlpp_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlpp_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlpp_parser_test.dir/sqlpp_parser_test.cc.o"
+  "CMakeFiles/sqlpp_parser_test.dir/sqlpp_parser_test.cc.o.d"
+  "sqlpp_parser_test"
+  "sqlpp_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlpp_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

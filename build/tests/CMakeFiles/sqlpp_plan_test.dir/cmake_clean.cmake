@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlpp_plan_test.dir/sqlpp_plan_test.cc.o"
+  "CMakeFiles/sqlpp_plan_test.dir/sqlpp_plan_test.cc.o.d"
+  "sqlpp_plan_test"
+  "sqlpp_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlpp_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
