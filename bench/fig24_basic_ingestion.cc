@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   SimBench bench(options);
 
   const std::vector<size_t> node_counts = {1, 2, 3, 4, 6, 12, 18, 24};
+  BenchJsonWriter json("fig24");
 
   PrintHeader("Figure 24: 20K tweets ingestion speed-up over 1-24 nodes",
               "throughput in thousands of records/second (paper: 10M tweets)");
@@ -41,7 +42,8 @@ int main(int argc, char** argv) {
 
   for (size_t nodes : node_counts) {
     std::vector<std::string> row = {std::to_string(nodes)};
-    auto run = [&](bool dynamic, bool balanced, size_t batch_mult) {
+    auto run = [&](const std::string& series, bool dynamic, bool balanced,
+                   size_t batch_mult) {
       feed::SimConfig config;
       config.nodes = nodes;
       config.dynamic = dynamic;
@@ -52,16 +54,17 @@ int main(int argc, char** argv) {
       config.fused_insert_job = ablate_fused;
       feed::SimReport r = bench.Run(config);
       row.push_back(Fmt(r.throughput_rps / 1000.0, "%.1f"));
+      json.Add(series, config, r);
       return r;
     };
-    run(/*dynamic=*/false, /*balanced=*/false, 1);
-    run(false, true, 1);
-    feed::SimReport d1 = run(true, false, 1);
-    run(true, false, 4);
-    run(true, false, 16);
-    run(true, true, 1);
-    run(true, true, 4);
-    run(true, true, 16);
+    run("Static", /*dynamic=*/false, /*balanced=*/false, 1);
+    run("BalStatic", false, true, 1);
+    feed::SimReport d1 = run("Dyn-1X", true, false, 1);
+    run("Dyn-4X", true, false, 4);
+    run("Dyn-16X", true, false, 16);
+    run("BalDyn-1X", true, true, 1);
+    run("BalDyn-4X", true, true, 4);
+    run("BalDyn-16X", true, true, 16);
     PrintRow(row, 12);
     if (nodes == 24) {
       std::printf("  (24 nodes, Dyn-1X: %llu computing jobs, refresh rate %.0f jobs/s)\n",

@@ -20,6 +20,7 @@ int main() {
   SimBench bench(options);
 
   const size_t kNodes = 6;
+  BenchJsonWriter json("fig25");
 
   PrintHeader("Figure 25: 3K tweets enrichment with UDFs on 6 nodes",
               "throughput in records/second, log-scale shape in the paper");
@@ -30,7 +31,8 @@ int main() {
   for (auto id : EvalUseCases()) {
     const auto& uc = workload::GetUseCase(id);
     std::vector<std::string> row = {uc.name};
-    auto run = [&](bool dynamic, bool native, size_t batch_mult) {
+    auto run = [&](const std::string& series, bool dynamic, bool native,
+                   size_t batch_mult) {
       feed::SimConfig config;
       config.nodes = kNodes;
       config.dynamic = dynamic;
@@ -40,14 +42,15 @@ int main() {
       config.use_native = native;
       feed::SimReport r = bench.Run(config);
       row.push_back(Fmt(r.throughput_rps, "%.0f"));
+      json.Add(uc.name + std::string("/") + series, config, r);
     };
-    run(/*dynamic=*/false, /*native=*/true, 1);  // Static Enrichment w/ Java
-    run(true, true, 1);
-    run(true, true, 4);
-    run(true, true, 16);
-    run(true, false, 1);
-    run(true, false, 4);
-    run(true, false, 16);
+    run("StaticJava", /*dynamic=*/false, /*native=*/true, 1);
+    run("DynJava-1X", true, true, 1);
+    run("DynJava-4X", true, true, 4);
+    run("DynJava-16X", true, true, 16);
+    run("DynSQL-1X", true, false, 1);
+    run("DynSQL-4X", true, false, 4);
+    run("DynSQL-16X", true, false, 16);
     PrintRow(row, 16);
   }
   return 0;

@@ -15,6 +15,7 @@ int main() {
   options.base_sizes = EvalBenchSizes();
   options.tweets = 3000;
   SimBench bench(options);
+  BenchJsonWriter json("fig26");
 
   PrintHeader("Figure 26: refresh period per batch size (Dynamic SQL++, 6 nodes)",
               "seconds per computing-job invocation");
@@ -31,6 +32,7 @@ int main() {
       config.udf = uc.function_name;
       feed::SimReport r = bench.Run(config);
       row.push_back(Fmt(r.refresh_period_us / 1e6, "%.3f"));
+      json.Add(uc.name + std::string("/") + std::to_string(mult) + "X", config, r);
     }
     PrintRow(row, 22);
   }

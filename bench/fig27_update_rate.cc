@@ -50,6 +50,7 @@ size_t UpdateDatasetSize(const workload::RefSizes& sizes, workload::UseCaseId id
 
 int main() {
   const std::vector<double> rates = {0, 1, 10, 50, 100, 200, 400};
+  BenchJsonWriter json("fig27");
 
   PrintHeader("Figure 27: throughput vs reference-data update rate (6 nodes)",
               "records/second while a client upserts reference data at the given rate");
@@ -78,6 +79,7 @@ int main() {
       config.country_domain = bench.country_domain();
       feed::SimReport r = bench.Run(config);
       row.push_back(Fmt(r.throughput_rps, "%.0f"));
+      json.Add(uc.name + std::string("/") + Fmt(rate, "%.0f") + "ups", config, r);
     }
     PrintRow(row, 16);
   }

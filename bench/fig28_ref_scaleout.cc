@@ -13,6 +13,7 @@ using namespace idea::bench;
 int main() {
   const std::vector<std::pair<size_t, double>> steps = {
       {6, 0.5}, {12, 1.0}, {18, 1.5}, {24, 2.0}};
+  BenchJsonWriter json("fig28");
 
   PrintHeader("Figure 28: reference data scale-out (nodes x data scaled together)",
               "records/second, Dynamic SQL++ 16X batches (672 records, scaled)");
@@ -39,6 +40,7 @@ int main() {
       config.udf = uc.function_name;
       feed::SimReport r = bench.Run(config);
       row.push_back(Fmt(r.throughput_rps, "%.0f"));
+      json.Add(uc.name + std::string("/") + std::to_string(nodes) + "n", config, r);
     }
     PrintRow(row, 18);
   }

@@ -16,6 +16,7 @@ int main() {
   options.base_sizes = ComplexBenchSizes();
   options.tweets = 1000;
   SimBench bench(options);
+  BenchJsonWriter json("fig29");
 
   PrintHeader("Figure 29: complex-UDF throughput vs batch size (6 nodes)",
               "records/second, Dynamic SQL++ (paper: 100K tweets)");
@@ -32,6 +33,7 @@ int main() {
       config.udf = uc.function_name;
       feed::SimReport r = bench.Run(config);
       row.push_back(Fmt(r.throughput_rps, "%.0f"));
+      json.Add(uc.name + std::string("/") + std::to_string(mult) + "X", config, r);
     }
     PrintRow(row, 20);
   }

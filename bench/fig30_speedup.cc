@@ -21,6 +21,7 @@ int main() {
   options.base_sizes = ComplexBenchSizes();
   options.tweets = 600;
   SimBench bench(options);
+  BenchJsonWriter json("fig30");
 
   PrintHeader("Figure 30: speed-up, 24 vs 6 nodes, per batch size",
               "ideal speed-up = 4.0 (paper: 100K tweets)");
@@ -36,7 +37,11 @@ int main() {
         config.batch_size = kBatch1X * mult;
         config.costs = BenchCosts();
         config.udf = uc.function_name;
-        return bench.Run(config).throughput_rps;
+        feed::SimReport r = bench.Run(config);
+        json.Add(uc.name + std::string("/") + std::to_string(mult) + "X/" +
+                     std::to_string(nodes) + "n",
+                 config, r);
+        return r.throughput_rps;
       };
       double t6 = throughput(6);
       double t24 = throughput(24);

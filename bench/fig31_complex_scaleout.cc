@@ -33,6 +33,7 @@ int main() {
   }
 
   const std::vector<size_t> node_counts = {6, 12, 18, 24};
+  BenchJsonWriter json("fig31");
 
   PrintHeader("Figure 31a: complex-UDF throughput vs cluster size",
               "records/second, Dynamic SQL++ 16X batches");
@@ -53,6 +54,7 @@ int main() {
       feed::SimReport r = bench.Run(config);
       values.push_back(r.throughput_rps);
       row.push_back(Fmt(r.throughput_rps, "%.0f"));
+      json.Add(c.label + "/" + std::to_string(nodes) + "n", config, r);
     }
     matrix.push_back(values);
     PrintRow(row, 24);

@@ -5,12 +5,14 @@
 // bench); shapes, not absolute numbers, are the reproduction target.
 #pragma once
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "adm/json.h"
 #include "feed/simulation.h"
 #include "sqlpp/parser.h"
 #include "workload/native_udfs.h"
@@ -202,6 +204,48 @@ inline std::vector<workload::UseCaseId> ComplexUseCases() {
   return {workload::UseCaseId::kNearbyMonuments, workload::UseCaseId::kSuspiciousNames,
           workload::UseCaseId::kTweetContext, workload::UseCaseId::kWorrisomeTweets};
 }
+
+// --- machine-readable results ------------------------------------------------
+
+/// Writes one JSON object per bench data point to BENCH_<fig>.json in the
+/// working directory (JSON lines, same convention as obs::SnapshotExporter).
+/// Each row carries the run configuration plus throughput, refresh period,
+/// and the simulated per-batch latency percentiles.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(const std::string& fig)
+      : path_("BENCH_" + fig + ".json"), file_(std::fopen(path_.c_str(), "w")) {
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "warning: cannot open %s for writing\n", path_.c_str());
+    }
+  }
+  ~BenchJsonWriter() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+      std::printf("\nwrote %s\n", path_.c_str());
+    }
+  }
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  void Add(const std::string& series, const feed::SimConfig& config,
+           const feed::SimReport& r) {
+    if (file_ == nullptr) return;
+    std::fprintf(
+        file_,
+        "{\"series\":%s,\"nodes\":%zu,\"batch_size\":%zu,\"records\":%" PRIu64
+        ",\"makespan_us\":%.3f,\"throughput_rps\":%.3f,\"computing_jobs\":%" PRIu64
+        ",\"refresh_period_us\":%.3f,\"batch_p50_us\":%.3f,\"batch_p95_us\":%.3f,"
+        "\"batch_p99_us\":%.3f,\"batch_max_us\":%.3f}\n",
+        adm::JsonQuote(series).c_str(), config.nodes, config.batch_size, r.records,
+        r.makespan_us, r.throughput_rps, r.computing_jobs, r.refresh_period_us,
+        r.batch_p50_us, r.batch_p95_us, r.batch_p99_us, r.batch_max_us);
+  }
+
+ private:
+  std::string path_;
+  std::FILE* file_;
+};
 
 // --- tiny table printer ------------------------------------------------------
 

@@ -83,5 +83,11 @@ int main(int argc, char** argv) {
   Check(total.status(), "count query");
   std::printf("\ntotal stored: %lld\n",
               static_cast<long long>((*total)[0].AsInt()));
+
+  // Unified observability: every pipeline stage recorded into the process
+  // metrics registry; the snapshot is JSON lines (metrics first, then the
+  // most recent batch traces).
+  std::printf("\nmetrics snapshot (idea.* registry + recent batch traces):\n%s",
+              db.DumpMetricsJson().c_str());
   return 0;
 }

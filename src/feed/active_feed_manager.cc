@@ -1,6 +1,9 @@
 #include "feed/active_feed_manager.h"
 
+#include <algorithm>
+
 #include "common/virtual_clock.h"
+#include "obs/metrics.h"
 
 namespace idea::feed {
 
@@ -63,6 +66,13 @@ Status ActiveFeedManager::StartFeed(StartArgs args) {
 void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
   WallTimer lifetime;
   lifetime.Start();
+  // Per-feed registry scope: feed-lifecycle metrics live under
+  // idea.feed.<name>.* alongside the per-stage idea.{intake,compute,storage}
+  // series the jobs record themselves.
+  obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.feed." + feed->config.name);
+  obs::Histogram* refresh_us = scope.Histogram("refresh_period_us");
+  obs::Counter* records_metric = scope.Counter("records_ingested");
+  obs::Counter* jobs_metric = scope.Counter("computing_jobs");
   Status final_status;
   while (true) {
     auto inv = ComputingJob::RunOnce(feed->config.name, feed->config, cluster_);
@@ -79,6 +89,11 @@ void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
         feed->stats.compute_micros_total += inv->wall_micros;
       }
     }
+    if (inv->records_in > 0 || !inv->intake_exhausted) {
+      refresh_us->Record(inv->wall_micros);
+      records_metric->Add(inv->records_out);
+      jobs_metric->Increment();
+    }
     if (inv->intake_exhausted) break;
   }
   // When the last computing job for the feed finishes, the storage job stops
@@ -87,8 +102,28 @@ void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
   feed->storage->Join();
   feed->intake->Join();
   if (final_status.ok()) final_status = feed->storage->first_error();
+  // Fold the holders' back-pressure view into the feed summary now that the
+  // pipeline is quiescent.
+  FeedRuntimeStats holder_summary;
+  for (size_t p = 0; p < cluster_->node_count(); ++p) {
+    runtime::HolderStats in = feed->intake->holder(p)->stats();
+    runtime::HolderStats st = feed->storage->holder(p)->stats();
+    holder_summary.intake_queue_high_watermark =
+        std::max(holder_summary.intake_queue_high_watermark,
+                 in.queue_depth_high_watermark);
+    holder_summary.storage_queue_high_watermark =
+        std::max(holder_summary.storage_queue_high_watermark,
+                 st.queue_depth_high_watermark);
+    holder_summary.blocked_pushes += in.blocked_pushes + st.blocked_pushes;
+    holder_summary.blocked_pulls += in.blocked_pulls + st.blocked_pulls;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   feed->final_status = final_status;
+  feed->stats.intake_queue_high_watermark = holder_summary.intake_queue_high_watermark;
+  feed->stats.storage_queue_high_watermark =
+      holder_summary.storage_queue_high_watermark;
+  feed->stats.blocked_pushes = holder_summary.blocked_pushes;
+  feed->stats.blocked_pulls = holder_summary.blocked_pulls;
   feed->stats.wall_micros_total = lifetime.ElapsedMicros();
   feed->finished = true;
 }

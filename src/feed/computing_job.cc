@@ -1,9 +1,12 @@
 #include "feed/computing_job.h"
 
 #include <atomic>
+#include <mutex>
 #include <thread>
 
 #include "common/virtual_clock.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "runtime/frame.h"
 
 namespace idea::feed {
@@ -66,15 +69,35 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
   const size_t quota = std::max<size_t>(1, config.batch_size / nodes);
   cluster->predeployed().RecordInvocation(JobId(feed_name));
 
+  obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.compute." + feed_name);
+  obs::Histogram* invocation_us = scope.Histogram("invocation_us");
+  obs::Histogram* init_us = scope.Histogram("init_us");
+  obs::Histogram* run_us = scope.Histogram("run_us");
+  obs::Counter* invocations = scope.Counter("invocations");
+  obs::Counter* records_in_metric = scope.Counter("records_in");
+  obs::Counter* records_out_metric = scope.Counter("records_out");
+  obs::Counter* parse_errors_metric = scope.Counter("parse_errors");
+
+  obs::Tracer& tracer = obs::Tracer::Default();
+  const uint64_t trace_id = tracer.StartTrace(feed_name);
+
   WallTimer timer;
   timer.Start();
   std::atomic<uint64_t> records_in{0}, records_out{0}, parse_errors{0};
   std::atomic<size_t> exhausted_nodes{0};
   std::vector<Status> statuses(nodes);
+  std::vector<std::vector<obs::Span>> node_spans(nodes);
   std::vector<std::thread> threads;
 
   for (size_t p = 0; p < nodes; ++p) {
     threads.emplace_back([&, p] {
+      // Spans are buffered per node and flushed to the tracer after the
+      // barrier, keeping the tracer's lock off the hot path.
+      std::vector<obs::Span>& spans = node_spans[p];
+      auto span = [&](const char* name, double start_us) {
+        spans.push_back(obs::Span{name, static_cast<int>(p), start_us,
+                                  obs::NowMicros() - start_us});
+      };
       auto run = [&]() -> Status {
         auto* artifact = dynamic_cast<ComputingArtifact*>(
             cluster->predeployed().Get(JobId(feed_name), p));
@@ -92,14 +115,17 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
         }
         // Collector: pull this node's share of the batch.
         std::vector<std::string> raw;
+        double t0 = obs::NowMicros();
         if (!intake->PullBatch(quota, &raw)) {
           exhausted_nodes.fetch_add(1);
           return Status::OK();
         }
+        span("intake.pull", t0);
         records_in.fetch_add(raw.size(), std::memory_order_relaxed);
         // Parser.
         std::vector<adm::Value> parsed;
         parsed.reserve(raw.size());
+        t0 = obs::NowMicros();
         for (const std::string& r : raw) {
           auto rec = artifact->parser->Parse(r);
           if (!rec.ok()) {
@@ -108,30 +134,45 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
           }
           parsed.push_back(std::move(rec).value());
         }
+        span("compute.parse", t0);
         // UDF evaluator: refresh intermediate state, then enrich. This is
         // the Model-2 refresh point — updates committed before this line are
         // visible to this invocation.
         std::vector<adm::Value> enriched;
+        double init_start = obs::NowMicros();
         if (artifact->plan != nullptr) {
           artifact->accessor->BeginEpoch();
           IDEA_RETURN_NOT_OK(artifact->plan->Initialize());
+          span("compute.init", init_start);
+          init_us->Record(obs::NowMicros() - init_start);
+          t0 = obs::NowMicros();
           IDEA_RETURN_NOT_OK(artifact->plan->EnrichBatch(parsed, &enriched));
+          span("compute.enrich", t0);
+          run_us->Record(obs::NowMicros() - t0);
         } else if (artifact->native != nullptr) {
           IDEA_RETURN_NOT_OK(
               artifact->native->Initialize("node-" + std::to_string(p)));
+          span("compute.init", init_start);
+          init_us->Record(obs::NowMicros() - init_start);
+          t0 = obs::NowMicros();
           enriched.reserve(parsed.size());
           for (const auto& rec : parsed) {
             IDEA_ASSIGN_OR_RETURN(adm::Value v, artifact->native->Evaluate({rec}));
             enriched.push_back(std::move(v));
           }
+          span("compute.enrich", t0);
+          run_us->Record(obs::NowMicros() - t0);
         } else {
           enriched = std::move(parsed);
         }
         records_out.fetch_add(enriched.size(), std::memory_order_relaxed);
         // Feed pipeline sink: ship frames to the storage job.
+        t0 = obs::NowMicros();
         for (auto& frame : runtime::FrameRecords(enriched, config.frame_bytes)) {
+          frame.set_trace_id(trace_id);
           IDEA_RETURN_NOT_OK(storage_holder->Push(std::move(frame)));
         }
+        span("compute.ship", t0);
         return Status::OK();
       };
       statuses[p] = run();
@@ -148,6 +189,21 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
   out.parse_errors = parse_errors.load();
   out.intake_exhausted = exhausted_nodes.load() == nodes;
   out.wall_micros = timer.ElapsedMicros();
+  out.trace_id = trace_id;
+
+  if (out.records_in == 0 && out.intake_exhausted) {
+    // Empty EOF pull: nothing flowed, keep the ring for real batches.
+    tracer.Drop(trace_id);
+  } else {
+    for (auto& spans : node_spans) {
+      for (auto& s : spans) tracer.AddSpan(trace_id, std::move(s));
+    }
+    invocations->Increment();
+    invocation_us->Record(out.wall_micros);
+    records_in_metric->Add(out.records_in);
+    records_out_metric->Add(out.records_out);
+    parse_errors_metric->Add(out.parse_errors);
+  }
   return out;
 }
 

@@ -42,6 +42,8 @@ struct ComputingInvocation {
   uint64_t parse_errors = 0;
   bool intake_exhausted = false;
   double wall_micros = 0;
+  /// Pipeline-trace id of this batch (obs::Tracer); 0 when untraced.
+  uint64_t trace_id = 0;
 };
 
 class ComputingJob {

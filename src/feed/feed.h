@@ -46,6 +46,13 @@ struct FeedRuntimeStats {
   uint64_t plan_initializations = 0;
   double wall_micros_total = 0;    // feed lifetime
 
+  // Back-pressure summary, aggregated from the feed's partition-holder
+  // metrics when the pipeline drains (see HolderStats).
+  uint64_t intake_queue_high_watermark = 0;   // max records queued on any node
+  uint64_t storage_queue_high_watermark = 0;  // max frames queued on any node
+  uint64_t blocked_pushes = 0;  // intake pushes stalled on a full queue
+  uint64_t blocked_pulls = 0;   // batch pulls that waited for records
+
   double RefreshPeriodMicros() const {
     return computing_jobs == 0 ? 0 : compute_micros_total / static_cast<double>(computing_jobs);
   }

@@ -1,5 +1,7 @@
 #include "feed/intake_job.h"
 
+#include "obs/metrics.h"
+
 namespace idea::feed {
 
 IntakeJob::IntakeJob(std::string feed_name, cluster::Cluster* cluster)
@@ -24,8 +26,10 @@ Status IntakeJob::Start(const AdapterFactory& factory, bool balanced_intake) {
     adapters_.push_back(std::move(adapter));
   }
   live_adapters_.store(adapters_.size());
+  obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.intake." + feed_name_);
+  obs::Counter* adapter_records = scope.Counter("adapter_records");
   for (size_t i = 0; i < adapters_.size(); ++i) {
-    threads_.emplace_back([this, i, nodes] {
+    threads_.emplace_back([this, i, nodes, adapter_records] {
       FeedAdapter* adapter = adapters_[i].get();
       // Round-robin partitioner (Figure 23): spread records evenly so the
       // (possibly expensive) attached UDF parallelizes well.
@@ -36,6 +40,7 @@ Status IntakeJob::Start(const AdapterFactory& factory, bool balanced_intake) {
         raw.clear();
         ++next;
         records_.fetch_add(1, std::memory_order_relaxed);
+        adapter_records->Increment();
       }
       // Last adapter out marks EOF on every holder (paper §6.1).
       if (live_adapters_.fetch_sub(1) == 1) {

@@ -4,6 +4,7 @@
 
 #include "common/virtual_clock.h"
 #include "feed/record_parser.h"
+#include "obs/metrics.h"
 #include "workload/update_client.h"
 #include "sqlpp/enrichment_plan.h"
 #include "workload/reference_data.h"
@@ -163,6 +164,11 @@ Result<SimReport> FeedSimulation::Run(const SimConfig& config,
   double compute_time = 0;   // Σ T_batch (computing jobs are sequential per feed)
   double storage_time = 0;   // storage job busy time (overlapped)
   uint64_t jobs = 0;
+  // Local distribution of simulated T_batch; also mirrored into the
+  // process-wide idea.sim.batch_us series for snapshot visibility.
+  obs::Histogram batch_hist;
+  obs::Histogram* sim_batch_us =
+      obs::MetricsRegistry::Default().GetHistogram("idea.sim.batch_us");
 
   // Update client (Figure 27): a real concurrent thread upserting reference
   // records while enrichment runs, producing genuine LSM memtable activity
@@ -256,6 +262,8 @@ Result<SimReport> FeedSimulation::Run(const SimConfig& config,
     }
 
     compute_time += t_batch;
+    batch_hist.Record(t_batch);
+    sim_batch_us->Record(t_batch);
     report.invoke_us += invoke;
     report.init_us += t_init;
     ++jobs;
@@ -271,6 +279,10 @@ Result<SimReport> FeedSimulation::Run(const SimConfig& config,
   report.computing_jobs = jobs;
   report.compute_us = compute_time;
   report.storage_us = storage_time;
+  report.batch_p50_us = batch_hist.Percentile(0.50);
+  report.batch_p95_us = batch_hist.Percentile(0.95);
+  report.batch_p99_us = batch_hist.Percentile(0.99);
+  report.batch_max_us = batch_hist.max();
   report.refresh_period_us = jobs > 0 ? compute_time / static_cast<double>(jobs) : 0;
   report.makespan_us = std::max({report.intake_us, compute_time, storage_time});
   report.throughput_rps =

@@ -67,6 +67,12 @@ struct SimReport {
   double invoke_us = 0;    // Σ job-start (+compile) overhead
   double init_us = 0;      // Σ measured state-rebuild CPU (unscaled by N)
   uint64_t updates_applied = 0;
+  // Per-batch simulated latency distribution (dynamic framework only; the
+  // static pipeline has no batch structure and leaves these 0).
+  double batch_p50_us = 0;
+  double batch_p95_us = 0;
+  double batch_p99_us = 0;
+  double batch_max_us = 0;
   std::string plan_explain;
 };
 

@@ -1,5 +1,8 @@
 #include "feed/storage_job.h"
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
 namespace idea::feed {
 
 StorageJob::StorageJob(std::string feed_name, cluster::Cluster* cluster,
@@ -19,8 +22,15 @@ Status StorageJob::Start() {
     IDEA_RETURN_NOT_OK(cluster_->node(p).holders().RegisterStorage(holder));
     holders_.push_back(std::move(holder));
   }
+  obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.storage." + feed_name_);
+  obs::Histogram* store_us = scope.Histogram("store_us");
+  obs::Histogram* commit_us = scope.Histogram("commit_us");
+  obs::Counter* frames_stored = scope.Counter("frames");
+  obs::Counter* records_metric = scope.Counter("records");
   for (size_t p = 0; p < nodes; ++p) {
-    threads_.emplace_back([this, p] {
+    threads_.emplace_back([this, p, store_us, commit_us, frames_stored,
+                           records_metric] {
+      obs::Tracer& tracer = obs::Tracer::Default();
       runtime::Frame frame;
       while (holders_[p]->Pop(&frame)) {
         auto store = [&]() -> Status {
@@ -29,13 +39,26 @@ Status StorageJob::Start() {
           // Hash partitioner: records are routed to their storage partition
           // by primary key; partitions share one LSM store in this
           // simulator, so routing reduces to direct upserts.
+          double t0 = obs::NowMicros();
           for (auto& rec : records) {
             IDEA_RETURN_NOT_OK(dataset_->Upsert(std::move(rec)));
             stored_.fetch_add(1, std::memory_order_relaxed);
           }
+          double t1 = obs::NowMicros();
+          store_us->Record(t1 - t0);
+          tracer.AddSpan(frame.trace_id(), obs::Span{"storage.store",
+                                                     static_cast<int>(p), t0, t1 - t0});
+          records_metric->Add(records.size());
+          frames_stored->Increment();
           // Group commit: the batch is durable once the log flush returns
           // (paper §5.2).
-          return dataset_->FlushWal();
+          double t2 = obs::NowMicros();
+          Status flushed = dataset_->FlushWal();
+          commit_us->Record(obs::NowMicros() - t2);
+          tracer.AddSpan(frame.trace_id(),
+                         obs::Span{"storage.flush", static_cast<int>(p), t2,
+                                   obs::NowMicros() - t2});
+          return flushed;
         };
         Status st = store();
         if (!st.ok()) {

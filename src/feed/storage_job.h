@@ -36,6 +36,10 @@ class StorageJob {
   /// First storage error (storage failures surface at feed completion).
   Status first_error() const;
 
+  std::shared_ptr<runtime::StoragePartitionHolder> holder(size_t node) const {
+    return holders_[node];
+  }
+
  private:
   std::string feed_name_;
   cluster::Cluster* cluster_;

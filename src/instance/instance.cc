@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/string_util.h"
+#include "obs/snapshot.h"
 #include "sqlpp/analyzer.h"
 #include "sqlpp/evaluator.h"
 #include "sqlpp/parser.h"
@@ -19,6 +20,12 @@ Instance::Instance(InstanceOptions options) : options_(options) {
 Instance::~Instance() {
   // AFM teardown stops any feeds still running.
   afm_.reset();
+}
+
+std::string Instance::DumpMetricsJson() const {
+  obs::SnapshotExporter exporter(&obs::MetricsRegistry::Default(),
+                                 &obs::Tracer::Default());
+  return exporter.SnapshotJsonLines();
 }
 
 Result<adm::Array> Instance::ExecuteSqlpp(const std::string& statement) {

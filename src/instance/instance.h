@@ -59,6 +59,11 @@ class Instance {
   Status RegisterNativeUdf(const std::string& qualified, feed::NativeUdfFactory factory,
                            bool stateful);
 
+  /// JSON-lines snapshot of the process-wide metrics registry plus recent
+  /// batch traces: one {"type":"metrics",...} line followed by one
+  /// {"type":"trace",...} line per retained batch (see src/obs/snapshot.h).
+  std::string DumpMetricsJson() const;
+
  private:
   Result<adm::Array> RunQuery(const sqlpp::SelectStatement& query);
   Status RunInsert(const sqlpp::InsertStatement& insert);

@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+
+namespace idea::obs {
+
+double NowMicros() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+size_t Histogram::BucketIndex(double micros) {
+  if (!(micros >= 1.0)) return 0;  // [0,1) and NaN land in bucket 0
+  uint64_t v = micros >= 9e18 ? UINT64_MAX : static_cast<uint64_t>(micros);
+  size_t idx = static_cast<size_t>(std::bit_width(v));
+  return idx >= kBuckets ? kBuckets - 1 : idx;
+}
+
+void Histogram::Record(double micros) {
+  if (micros < 0 || std::isnan(micros)) micros = 0;
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t v = static_cast<uint64_t>(micros);
+  sum_us_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = max_us_.load(std::memory_order_relaxed);
+  while (v > cur && !max_us_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = min_us_.load(std::memory_order_relaxed);
+  while (v < cur && !min_us_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const {
+  uint64_t v = min_us_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : static_cast<double>(v);
+}
+
+double Histogram::Percentile(double q) const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // 1-based rank of the q-quantile observation.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (cum + counts[i] >= rank) {
+      double lo = static_cast<double>(BucketLowerBound(i));
+      double hi = i + 1 < kBuckets ? static_cast<double>(BucketLowerBound(i + 1))
+                                   : max();
+      double frac = static_cast<double>(rank - cum) / static_cast<double>(counts[i]);
+      double v = lo + frac * (hi - lo);
+      // Never report beyond the recorded extremes.
+      double mx = max();
+      return v > mx ? mx : v;
+    }
+    cum += counts[i];
+  }
+  return max();
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = count();
+  s.sum_us = sum();
+  s.min_us = min();
+  s.max_us = max();
+  s.p50_us = Percentile(0.50);
+  s.p95_us = Percentile(0.95);
+  s.p99_us = Percentile(0.99);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+  max_us_.store(0, std::memory_order_relaxed);
+  min_us_.store(UINT64_MAX, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.counters.emplace_back(name, c->value());
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.gauges.emplace_back(name, g->Snapshot());
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.emplace_back(name, h->Snapshot());
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace idea::obs

@@ -1,0 +1,124 @@
+#include "obs/snapshot.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "adm/json.h"
+
+namespace idea::obs {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string FmtU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string FmtI64(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string SnapshotExporter::RegistryJson() const {
+  RegistrySnapshot snap = registry_->Snapshot();
+  std::string out = "{\"type\":\"metrics\",\"ts_us\":" + FmtDouble(NowMicros());
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += adm::JsonQuote(name) + ":" + FmtU64(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : snap.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += adm::JsonQuote(name) + ":{\"value\":" + FmtI64(g.value) +
+           ",\"high_watermark\":" + FmtI64(g.high_watermark) + "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += adm::JsonQuote(name) + ":{\"count\":" + FmtU64(h.count) +
+           ",\"sum_us\":" + FmtDouble(h.sum_us) + ",\"min_us\":" + FmtDouble(h.min_us) +
+           ",\"max_us\":" + FmtDouble(h.max_us) + ",\"p50_us\":" + FmtDouble(h.p50_us) +
+           ",\"p95_us\":" + FmtDouble(h.p95_us) + ",\"p99_us\":" + FmtDouble(h.p99_us) +
+           "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string SnapshotExporter::TraceJson(const BatchTrace& trace) {
+  std::string out = "{\"type\":\"trace\",\"id\":" + FmtU64(trace.id) +
+                    ",\"feed\":" + adm::JsonQuote(trace.feed) +
+                    ",\"start_us\":" + FmtDouble(trace.start_us) + ",\"spans\":[";
+  bool first = true;
+  for (const auto& span : trace.spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + adm::JsonQuote(span.name) +
+           ",\"node\":" + std::to_string(span.node) +
+           ",\"start_us\":" + FmtDouble(span.start_us) +
+           ",\"dur_us\":" + FmtDouble(span.dur_us) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string SnapshotExporter::SnapshotJsonLines(size_t max_traces) const {
+  std::string out = RegistryJson();
+  out += "\n";
+  if (tracer_ != nullptr) {
+    for (const auto& trace : tracer_->Recent(max_traces)) {
+      out += TraceJson(trace);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Status SnapshotExporter::OpenFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(file_mu_);
+  file_ = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!file_->good()) {
+    file_.reset();
+    return Status::Internal("cannot open metrics sink '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status SnapshotExporter::WriteNow() {
+  std::string line = RegistryJson();
+  std::lock_guard<std::mutex> lock(file_mu_);
+  if (file_ == nullptr) return Status::Internal("metrics sink not open");
+  *file_ << line << "\n";
+  file_->flush();
+  if (!file_->good()) return Status::Internal("metrics sink write failed");
+  return Status::OK();
+}
+
+bool SnapshotExporter::Tick(double now_us) {
+  {
+    std::lock_guard<std::mutex> lock(file_mu_);
+    if (file_ == nullptr || period_us_ <= 0) return false;
+    if (last_write_us_ >= 0 && now_us - last_write_us_ < period_us_) return false;
+    last_write_us_ = now_us;
+  }
+  return WriteNow().ok();
+}
+
+}  // namespace idea::obs

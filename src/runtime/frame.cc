@@ -26,6 +26,7 @@ Status Frame::Decode(std::vector<adm::Value>* out) const {
 void Frame::Clear() {
   bytes_.clear();
   offsets_.clear();
+  trace_id_ = 0;
 }
 
 Frame Frame::FromRecords(const std::vector<adm::Value>& records) {

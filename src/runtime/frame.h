@@ -24,12 +24,19 @@ class Frame {
   bool empty() const { return offsets_.empty(); }
   void Clear();
 
+  /// Pipeline-trace id of the batch this frame belongs to (obs::Tracer);
+  /// 0 = untraced. Carried across the computing-job/storage-job boundary so
+  /// the storage job appends its spans to the originating batch's timeline.
+  uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+
   /// Builds a frame from a record span.
   static Frame FromRecords(const std::vector<adm::Value>& records);
 
  private:
   std::vector<uint8_t> bytes_;
   std::vector<uint32_t> offsets_;  // start offset of each record
+  uint64_t trace_id_ = 0;
 };
 
 /// Splits `records` into frames of at most `target_bytes` (at least one

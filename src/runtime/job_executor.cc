@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "common/virtual_clock.h"
+#include "obs/metrics.h"
 
 namespace idea::runtime {
 
@@ -144,8 +145,16 @@ Result<JobRunStats> JobExecutor::Run(const JobSpecification& spec) {
   for (auto& t : threads) t.join();
 
   IDEA_RETURN_NOT_OK(error.Get());
+  // Process-wide job metrics; the static lookup keeps the per-run cost to two
+  // relaxed atomic updates.
+  static obs::Counter* jobs_run =
+      obs::MetricsRegistry::Default().GetCounter("idea.runtime.jobs_run");
+  static obs::Histogram* job_us =
+      obs::MetricsRegistry::Default().GetHistogram("idea.runtime.job_us");
   JobRunStats stats;
   stats.wall_micros = timer.ElapsedMicros();
+  jobs_run->Increment();
+  job_us->Record(static_cast<double>(stats.wall_micros));
   stats.source_records = source_records.load();
   for (size_t s = 0; s < S; ++s) {
     uint64_t n = 0;

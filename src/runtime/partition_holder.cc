@@ -2,13 +2,56 @@
 
 namespace idea::runtime {
 
+void HolderMetrics::Init(const PartitionHolderId& id, obs::MetricsRegistry* registry) {
+  if (registry == nullptr) registry = &obs::MetricsRegistry::Default();
+  obs::Scope scope(registry, id.MetricPrefix());
+  records_in = scope.Counter("records_in");
+  records_out = scope.Counter("records_out");
+  pushes = scope.Counter("pushes");
+  pulls = scope.Counter("pulls");
+  blocked_pushes = scope.Counter("blocked_pushes");
+  blocked_pulls = scope.Counter("blocked_pulls");
+  queue_depth = scope.Gauge("queue_depth");
+  push_block_us = scope.Histogram("push_block_us");
+  pull_block_us = scope.Histogram("pull_block_us");
+  // Registry series are cumulative per name; remember where this holder
+  // instance starts so stats() reports only its own traffic.
+  base.records_in = records_in->value();
+  base.records_out = records_out->value();
+  base.pushes = pushes->value();
+  base.pulls = pulls->value();
+  base.blocked_pushes = blocked_pushes->value();
+  base.blocked_pulls = blocked_pulls->value();
+  queue_depth->Set(0);
+}
+
+HolderStats HolderMetrics::View() const {
+  HolderStats s;
+  s.records_in = records_in->value() - base.records_in;
+  s.records_out = records_out->value() - base.records_out;
+  s.pushes = pushes->value() - base.pushes;
+  s.pulls = pulls->value() - base.pulls;
+  s.blocked_pushes = blocked_pushes->value() - base.blocked_pushes;
+  s.blocked_pulls = blocked_pulls->value() - base.blocked_pulls;
+  int64_t depth = queue_depth->value();
+  s.queue_depth = depth < 0 ? 0 : static_cast<uint64_t>(depth);
+  s.queue_depth_high_watermark = static_cast<uint64_t>(queue_depth->high_watermark());
+  return s;
+}
+
 Status IntakePartitionHolder::Push(std::string raw_record) {
   std::unique_lock<std::mutex> lock(mu_);
-  can_push_.wait(lock, [&] { return records_.size() < capacity_ || eof_; });
+  if (records_.size() >= capacity_ && !eof_) {
+    metrics_.blocked_pushes->Increment();
+    double start = obs::NowMicros();
+    can_push_.wait(lock, [&] { return records_.size() < capacity_ || eof_; });
+    metrics_.push_block_us->Record(obs::NowMicros() - start);
+  }
   if (eof_) return Status::Aborted("push into finished intake partition holder");
   records_.push_back(std::move(raw_record));
-  ++stats_.records_in;
-  ++stats_.pushes;
+  metrics_.records_in->Increment();
+  metrics_.pushes->Increment();
+  metrics_.queue_depth->Set(static_cast<int64_t>(records_.size()));
   can_pull_.notify_one();
   return Status::OK();
 }
@@ -24,7 +67,12 @@ bool IntakePartitionHolder::PullBatch(size_t max_records, std::vector<std::strin
   std::unique_lock<std::mutex> lock(mu_);
   // Wait for a full batch or EOF (paper §6.1: on EOF the computing job runs
   // with whatever was collected).
-  can_pull_.wait(lock, [&] { return records_.size() >= max_records || eof_; });
+  if (records_.size() < max_records && !eof_) {
+    metrics_.blocked_pulls->Increment();
+    double start = obs::NowMicros();
+    can_pull_.wait(lock, [&] { return records_.size() >= max_records || eof_; });
+    metrics_.pull_block_us->Record(obs::NowMicros() - start);
+  }
   if (records_.empty() && eof_) return false;
   size_t n = std::min(max_records, records_.size());
   out->reserve(out->size() + n);
@@ -32,8 +80,9 @@ bool IntakePartitionHolder::PullBatch(size_t max_records, std::vector<std::strin
     out->push_back(std::move(records_.front()));
     records_.pop_front();
   }
-  stats_.records_out += n;
-  ++stats_.pulls;
+  metrics_.records_out->Add(n);
+  metrics_.pulls->Increment();
+  metrics_.queue_depth->Set(static_cast<int64_t>(records_.size()));
   can_push_.notify_all();
   return true;
 }
@@ -43,30 +92,39 @@ bool IntakePartitionHolder::ExhaustedForTest() const {
   return eof_ && records_.empty();
 }
 
-HolderStats IntakePartitionHolder::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
+HolderStats IntakePartitionHolder::stats() const { return metrics_.View(); }
 
 Status StoragePartitionHolder::Push(Frame frame) {
   std::unique_lock<std::mutex> lock(mu_);
-  can_push_.wait(lock, [&] { return frames_.size() < capacity_ || closed_; });
+  if (frames_.size() >= capacity_ && !closed_) {
+    metrics_.blocked_pushes->Increment();
+    double start = obs::NowMicros();
+    can_push_.wait(lock, [&] { return frames_.size() < capacity_ || closed_; });
+    metrics_.push_block_us->Record(obs::NowMicros() - start);
+  }
   if (closed_) return Status::Aborted("push into closed storage partition holder");
-  stats_.records_in += frame.record_count();
-  ++stats_.pushes;
+  metrics_.records_in->Add(frame.record_count());
+  metrics_.pushes->Increment();
   frames_.push_back(std::move(frame));
+  metrics_.queue_depth->Set(static_cast<int64_t>(frames_.size()));
   can_pop_.notify_one();
   return Status::OK();
 }
 
 bool StoragePartitionHolder::Pop(Frame* out) {
   std::unique_lock<std::mutex> lock(mu_);
-  can_pop_.wait(lock, [&] { return !frames_.empty() || closed_; });
+  if (frames_.empty() && !closed_) {
+    metrics_.blocked_pulls->Increment();
+    double start = obs::NowMicros();
+    can_pop_.wait(lock, [&] { return !frames_.empty() || closed_; });
+    metrics_.pull_block_us->Record(obs::NowMicros() - start);
+  }
   if (frames_.empty()) return false;
   *out = std::move(frames_.front());
   frames_.pop_front();
-  stats_.records_out += out->record_count();
-  ++stats_.pulls;
+  metrics_.records_out->Add(out->record_count());
+  metrics_.pulls->Increment();
+  metrics_.queue_depth->Set(static_cast<int64_t>(frames_.size()));
   can_push_.notify_one();
   return true;
 }
@@ -78,10 +136,7 @@ void StoragePartitionHolder::Close() {
   can_push_.notify_all();
 }
 
-HolderStats StoragePartitionHolder::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
+HolderStats StoragePartitionHolder::stats() const { return metrics_.View(); }
 
 Status PartitionHolderManager::RegisterIntake(
     std::shared_ptr<IntakePartitionHolder> holder) {

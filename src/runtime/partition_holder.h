@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "runtime/frame.h"
 
 namespace idea::runtime {
@@ -32,16 +33,47 @@ struct PartitionHolderId {
   std::string ToString() const {
     return feed + "/" + role + "/" + std::to_string(partition);
   }
+  /// Metric-name scope for this holder: idea.<role>.<feed>.p<partition>.
+  std::string MetricPrefix() const {
+    return "idea." + role + "." + feed + ".p" + std::to_string(partition);
+  }
   bool operator<(const PartitionHolderId& o) const {
     return ToString() < o.ToString();
   }
 };
 
+/// Per-holder statistics. This struct is a *view* over the holder's registry
+/// metrics (idea.<role>.<feed>.p<n>.*), not parallel bookkeeping: counters
+/// are reported relative to a baseline captured at holder construction, so a
+/// holder instance sees only its own traffic even though the underlying
+/// registry series are cumulative for the process.
 struct HolderStats {
   uint64_t records_in = 0;
   uint64_t records_out = 0;
   uint64_t pulls = 0;
   uint64_t pushes = 0;
+  uint64_t queue_depth = 0;                 // records (intake) / frames (storage)
+  uint64_t queue_depth_high_watermark = 0;  // registry-lifetime high watermark
+  uint64_t blocked_pushes = 0;  // pushes that waited on a full queue (back-pressure)
+  uint64_t blocked_pulls = 0;   // pulls/pops that waited on an empty/partial queue
+};
+
+/// The registry metrics one holder records into, plus the construction-time
+/// baseline that makes HolderStats a per-instance view.
+struct HolderMetrics {
+  obs::Counter* records_in = nullptr;
+  obs::Counter* records_out = nullptr;
+  obs::Counter* pushes = nullptr;
+  obs::Counter* pulls = nullptr;
+  obs::Counter* blocked_pushes = nullptr;
+  obs::Counter* blocked_pulls = nullptr;
+  obs::Gauge* queue_depth = nullptr;
+  obs::Histogram* push_block_us = nullptr;
+  obs::Histogram* pull_block_us = nullptr;
+  HolderStats base;  // counter values at holder construction
+
+  void Init(const PartitionHolderId& id, obs::MetricsRegistry* registry);
+  HolderStats View() const;
 };
 
 /// Passive holder: raw (unparsed) records queue up; computing jobs pull
@@ -49,8 +81,11 @@ struct HolderStats {
 /// partial batch (paper §6.1).
 class IntakePartitionHolder {
  public:
-  IntakePartitionHolder(PartitionHolderId id, size_t capacity = 1u << 16)
-      : id_(std::move(id)), capacity_(capacity) {}
+  IntakePartitionHolder(PartitionHolderId id, size_t capacity = 1u << 16,
+                        obs::MetricsRegistry* registry = nullptr)
+      : id_(std::move(id)), capacity_(capacity) {
+    metrics_.Init(id_, registry);
+  }
 
   const PartitionHolderId& id() const { return id_; }
 
@@ -69,20 +104,23 @@ class IntakePartitionHolder {
  private:
   PartitionHolderId id_;
   size_t capacity_;
+  HolderMetrics metrics_;
   mutable std::mutex mu_;
   std::condition_variable can_push_;
   std::condition_variable can_pull_;
   std::deque<std::string> records_;
   bool eof_ = false;
-  HolderStats stats_;
 };
 
 /// Active holder: computing jobs push enriched frames; the storage job's
 /// drain loop pops them and pushes on to its partitioner.
 class StoragePartitionHolder {
  public:
-  StoragePartitionHolder(PartitionHolderId id, size_t capacity = 256)
-      : id_(std::move(id)), capacity_(capacity) {}
+  StoragePartitionHolder(PartitionHolderId id, size_t capacity = 256,
+                         obs::MetricsRegistry* registry = nullptr)
+      : id_(std::move(id)), capacity_(capacity) {
+    metrics_.Init(id_, registry);
+  }
 
   const PartitionHolderId& id() const { return id_; }
 
@@ -95,12 +133,12 @@ class StoragePartitionHolder {
  private:
   PartitionHolderId id_;
   size_t capacity_;
+  HolderMetrics metrics_;
   mutable std::mutex mu_;
   std::condition_variable can_push_;
   std::condition_variable can_pop_;
   std::deque<Frame> frames_;
   bool closed_ = false;
-  HolderStats stats_;
 };
 
 /// Per-node registry; jobs locate local partition holders here (paper §5.3).

@@ -1,8 +1,33 @@
 #include "runtime/predeployed.h"
 
 #include "common/virtual_clock.h"
+#include "obs/metrics.h"
 
 namespace idea::runtime {
+
+namespace {
+
+// Process-wide predeploy metrics: deployments of any job manager fold into
+// the same idea.predeploy.* series.
+obs::Counter* DeploymentsMetric() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("idea.predeploy.deployments");
+  return c;
+}
+
+obs::Counter* InvocationsMetric() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Default().GetCounter("idea.predeploy.invocations");
+  return c;
+}
+
+obs::Histogram* CompileMetric() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Default().GetHistogram("idea.predeploy.compile_us");
+  return h;
+}
+
+}  // namespace
 
 Status PredeployedJobManager::Deploy(
     const std::string& job_id, size_t nodes,
@@ -23,6 +48,8 @@ Status PredeployedJobManager::Deploy(
   }
   ++stats_.deployments;
   stats_.total_compile_micros += micros;
+  DeploymentsMetric()->Increment();
+  CompileMetric()->Record(micros);
   return Status::OK();
 }
 
@@ -35,6 +62,7 @@ JobArtifact* PredeployedJobManager::Get(const std::string& job_id, size_t node) 
 
 void PredeployedJobManager::RecordInvocation(const std::string& job_id) {
   (void)job_id;
+  InvocationsMetric()->Increment();
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.invocations;
 }

@@ -113,6 +113,9 @@ struct EnrichmentPlan::PathImpl : public FromAccessPath {
         IDEA_RETURN_NOT_OK(index->ProbeEquals(key, &scratch));
         ++stats->index_probes;
         ++ev->stats().index_probes;
+        if (ev->context().metrics.index_probes != nullptr) {
+          ev->context().metrics.index_probes->Increment();
+        }
         for (const Value& rec : scratch) out->push_back(&rec);
         return Status::OK();
       }
@@ -130,6 +133,9 @@ struct EnrichmentPlan::PathImpl : public FromAccessPath {
         IDEA_RETURN_NOT_OK(index->ProbeMbr(mbr, &scratch));
         ++stats->index_probes;
         ++ev->stats().index_probes;
+        if (ev->context().metrics.index_probes != nullptr) {
+          ev->context().metrics.index_probes->Increment();
+        }
         for (const Value& rec : scratch) out->push_back(&rec);
         return Status::OK();
       }
@@ -414,6 +420,16 @@ Result<std::unique_ptr<EnrichmentPlan>> EnrichmentPlan::Compile(
   ctx.datasets = datasets;
   ctx.functions = functions;
   ctx.access_paths = &plan->path_map_;
+  // Per-UDF metric scope: every plan (and fork) of the same function shares
+  // the idea.eval.<udf>.* series.
+  obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.eval." + plan->def_->name);
+  ctx.metrics.tuples_scanned = scope.Counter("tuples_scanned");
+  ctx.metrics.index_probes = scope.Counter("index_probes");
+  ctx.metrics.ref_candidates = scope.Counter("ref_candidates");
+  ctx.metrics.udf_calls = scope.Counter("udf_calls");
+  ctx.metrics.udf_eval_us = scope.Histogram("udf_eval_us");
+  plan->init_us_ = scope.Histogram("init_us");
+  plan->records_metric_ = scope.Counter("records_enriched");
   plan->evaluator_ = std::make_unique<Evaluator>(ctx);
   return plan;
 }
@@ -431,6 +447,7 @@ Status EnrichmentPlan::Initialize() {
   stats_.last_init_micros = timer.ElapsedMicros();
   stats_.total_init_micros += stats_.last_init_micros;
   ++stats_.initializations;
+  if (init_us_ != nullptr) init_us_->Record(stats_.last_init_micros);
   initialized_ = true;
   return Status::OK();
 }
@@ -443,6 +460,7 @@ Result<adm::Value> EnrichmentPlan::EnrichOne(const adm::Value& record) {
   IDEA_ASSIGN_OR_RETURN(Value result,
                         evaluator_->CallSqlppFunction(*def_, {record}, &root));
   ++stats_.records_enriched;
+  if (records_metric_ != nullptr) records_metric_->Increment();
   // A SQL++ function returns the collection its SELECT produces; an
   // enrichment body emits one row per input record, which we unwrap.
   if (result.IsArray()) {

@@ -119,6 +119,9 @@ class EnrichmentPlan {
   AccessPathMap path_map_;
   std::unique_ptr<Evaluator> evaluator_;
   PlanStats stats_;
+  // idea.eval.<udf>.* registry mirrors (shared across forks of the plan).
+  obs::Histogram* init_us_ = nullptr;
+  obs::Counter* records_metric_ = nullptr;
   bool initialized_ = false;
 };
 

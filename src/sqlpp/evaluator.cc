@@ -352,6 +352,7 @@ Result<Value> Evaluator::EvalFunctionCall(const Expr& e, Env* env) {
       }
       if (NativeFunctionHandle* native = ctx_.functions->FindNativeFunction(e.fn_name)) {
         ++stats_.udf_calls;
+        if (ctx_.metrics.udf_calls != nullptr) ctx_.metrics.udf_calls->Increment();
         return native->Evaluate(args);
       }
     }
@@ -361,6 +362,7 @@ Result<Value> Evaluator::EvalFunctionCall(const Expr& e, Env* env) {
     std::string qualified = e.fn_library + "#" + e.fn_name;
     if (NativeFunctionHandle* native = ctx_.functions->FindNativeFunction(qualified)) {
       ++stats_.udf_calls;
+      if (ctx_.metrics.udf_calls != nullptr) ctx_.metrics.udf_calls->Increment();
       return native->Evaluate(args);
     }
   }
@@ -381,12 +383,17 @@ Result<Value> Evaluator::CallSqlppFunction(const SqlppFunctionDef& def,
     return Status::ResourceExhausted("maximum UDF recursion depth exceeded");
   }
   ++stats_.udf_calls;
+  if (ctx_.metrics.udf_calls != nullptr) ctx_.metrics.udf_calls->Increment();
   Env fn_env;
   for (size_t i = 0; i < args.size(); ++i) fn_env.BindOwned(def.params[i], args[i]);
   // A grouped caller context must not leak into the function body.
   std::vector<GroupContext> saved;
   saved.swap(group_stack_);
+  double t0 = ctx_.metrics.udf_eval_us != nullptr ? obs::NowMicros() : 0;
   auto rows = EvalQuery(*def.body, &fn_env);
+  if (ctx_.metrics.udf_eval_us != nullptr) {
+    ctx_.metrics.udf_eval_us->Record(obs::NowMicros() - t0);
+  }
   saved.swap(group_stack_);
   --depth_;
   if (!rows.ok()) return rows.status();
@@ -426,6 +433,9 @@ Status Evaluator::FromItemLoop(const SelectStatement& q, size_t item, Env* env,
       std::vector<const Value*> candidates;
       IDEA_RETURN_NOT_OK(it->second->GetCandidates(this, env, &candidates));
       stats_.access_path_candidates += candidates.size();
+      if (ctx_.metrics.ref_candidates != nullptr) {
+        ctx_.metrics.ref_candidates->Add(candidates.size());
+      }
       for (const Value* cand : candidates) {
         Env child(env);
         child.Bind(fc.alias, cand);
@@ -451,7 +461,7 @@ Status Evaluator::FromItemLoop(const SelectStatement& q, size_t item, Env* env,
     for (const Value& rec : owned->AsArray()) {
       Env iter(&child);
       iter.Bind(fc.alias, &rec);
-      ++stats_.tuples_scanned;
+      CountScannedTuple();
       IDEA_RETURN_NOT_OK(FromItemLoop(q, item + 1, &iter, emit));
     }
     return Status::OK();
@@ -465,7 +475,7 @@ Status Evaluator::FromItemLoop(const SelectStatement& q, size_t item, Env* env,
     for (const Value& rec : bound->AsArray()) {
       Env iter(env);
       iter.Bind(fc.alias, &rec);
-      ++stats_.tuples_scanned;
+      CountScannedTuple();
       IDEA_RETURN_NOT_OK(FromItemLoop(q, item + 1, &iter, emit));
     }
     return Status::OK();
@@ -477,7 +487,7 @@ Status Evaluator::FromItemLoop(const SelectStatement& q, size_t item, Env* env,
   for (const Value& rec : *snap) {
     Env iter(env);
     iter.Bind(fc.alias, &rec);
-    ++stats_.tuples_scanned;
+    CountScannedTuple();
     IDEA_RETURN_NOT_OK(FromItemLoop(q, item + 1, &iter, emit));
   }
   return Status::OK();

@@ -19,6 +19,7 @@
 
 #include "adm/value.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sqlpp/ast.h"
 
 namespace idea::sqlpp {
@@ -143,10 +144,22 @@ struct EvalStats {
   uint64_t udf_calls = 0;
 };
 
+/// Optional registry sink mirroring EvalStats. Null pointers disable the
+/// corresponding metric; the planner points these at idea.eval.<udf>.* so
+/// evaluation cost is attributable per UDF across invocations.
+struct EvalMetrics {
+  obs::Counter* tuples_scanned = nullptr;
+  obs::Counter* index_probes = nullptr;
+  obs::Counter* ref_candidates = nullptr;  // access-path candidate records
+  obs::Counter* udf_calls = nullptr;
+  obs::Histogram* udf_eval_us = nullptr;  // per CallSqlppFunction body
+};
+
 struct EvalContext {
   DatasetAccessor* datasets = nullptr;
   const FunctionResolver* functions = nullptr;
   const AccessPathMap* access_paths = nullptr;
+  EvalMetrics metrics;
   int max_recursion_depth = 24;
 };
 
@@ -199,6 +212,11 @@ class Evaluator {
 
   /// Names every variable a tuple of `q` binds (FROM aliases + LETs).
   static std::vector<std::string> TupleVarNames(const SelectStatement& q);
+
+  void CountScannedTuple() {
+    ++stats_.tuples_scanned;
+    if (ctx_.metrics.tuples_scanned != nullptr) ctx_.metrics.tuples_scanned->Increment();
+  }
 
   EvalContext ctx_;
   EvalStats stats_;

@@ -13,6 +13,12 @@ LsmDataset::LsmDataset(std::string name, adm::Datatype datatype, std::string pri
       primary_key_(std::move(primary_key)),
       options_(options) {
   if (options_.enable_wal) wal_ = std::make_unique<Wal>();
+  obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.lsm." + name_);
+  metrics_.writes = scope.Counter("writes");
+  metrics_.flushes = scope.Counter("flushes");
+  metrics_.compactions = scope.Counter("compactions");
+  metrics_.flush_us = scope.Histogram("flush_us");
+  metrics_.compact_us = scope.Histogram("compact_us");
 }
 
 Result<Value> LsmDataset::ExtractKey(const Value& record) const {
@@ -89,6 +95,7 @@ Status LsmDataset::WriteLocked(WalRecordType type, Value record) {
     entry.record = std::move(record);
   }
   memtable_.Put(key, std::move(entry));
+  metrics_.writes->Increment();
   MaybeFlushLocked();
   return Status::OK();
 }
@@ -229,23 +236,31 @@ Status LsmDataset::ProbeIndexMbr(const std::string& field, const adm::Rectangle&
 
 void LsmDataset::MaybeFlushLocked() {
   if (memtable_.ApproximateBytes() < options_.memtable_bytes) return;
-  components_.push_back(SortedComponent::FromMemTable(next_component_id_++, memtable_));
-  memtable_.Clear();
+  {
+    obs::ScopedLatency timer(metrics_.flush_us);
+    components_.push_back(SortedComponent::FromMemTable(next_component_id_++, memtable_));
+    memtable_.Clear();
+  }
   ++stats_.flushes;
+  metrics_.flushes->Increment();
   if (components_.size() > options_.compaction_threshold) {
+    obs::ScopedLatency timer(metrics_.compact_us);
     auto merged = SortedComponent::Merge(next_component_id_++, components_);
     components_.clear();
     components_.push_back(std::move(merged));
     ++stats_.compactions;
+    metrics_.compactions->Increment();
   }
 }
 
 Status LsmDataset::FlushMemTable() {
   std::unique_lock lock(mu_);
   if (memtable_.empty()) return Status::OK();
+  obs::ScopedLatency timer(metrics_.flush_us);
   components_.push_back(SortedComponent::FromMemTable(next_component_id_++, memtable_));
   memtable_.Clear();
   ++stats_.flushes;
+  metrics_.flushes->Increment();
   return Status::OK();
 }
 

@@ -19,6 +19,7 @@
 #include "adm/datatype.h"
 #include "adm/value.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/btree_index.h"
 #include "storage/component.h"
 #include "storage/memtable.h"
@@ -130,6 +131,16 @@ class LsmDataset {
         scans{0}, flushes{0}, compactions{0}, index_probes{0};
   };
   mutable AtomicStats stats_;
+
+  // idea.lsm.<dataset>.* registry mirrors (fetched once at construction).
+  struct LsmMetrics {
+    obs::Counter* writes = nullptr;  // inserts + upserts + deletes
+    obs::Counter* flushes = nullptr;
+    obs::Counter* compactions = nullptr;
+    obs::Histogram* flush_us = nullptr;
+    obs::Histogram* compact_us = nullptr;
+  };
+  LsmMetrics metrics_;
 };
 
 }  // namespace idea::storage

@@ -2,8 +2,31 @@
 
 #include "adm/serde.h"
 #include "common/bytes.h"
+#include "obs/metrics.h"
 
 namespace idea::storage {
+
+namespace {
+
+// All WAL instances share the process-wide idea.wal.* series; per-dataset
+// breakdown lives in idea.lsm.<dataset>.*.
+struct WalMetrics {
+  obs::Counter* appends;
+  obs::Counter* bytes;
+  obs::Histogram* append_us;
+  obs::Histogram* flush_us;
+};
+
+const WalMetrics& Metrics() {
+  static WalMetrics m = [] {
+    obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.wal");
+    return WalMetrics{scope.Counter("appends"), scope.Counter("bytes_written"),
+                      scope.Histogram("append_us"), scope.Histogram("flush_us")};
+  }();
+  return m;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<Wal>> Wal::OpenFile(const std::string& path) {
   auto wal = std::make_unique<Wal>();
@@ -16,6 +39,8 @@ Result<std::unique_ptr<Wal>> Wal::OpenFile(const std::string& path) {
 }
 
 Status Wal::Append(const WalRecord& rec) {
+  const WalMetrics& metrics = Metrics();
+  obs::ScopedLatency timer(metrics.append_us);
   ByteBuffer buf;
   buf.PutU8(static_cast<uint8_t>(rec.type));
   buf.PutVarint64(rec.seqno);
@@ -23,6 +48,8 @@ Status Wal::Append(const WalRecord& rec) {
   if (rec.type != WalRecordType::kDelete) {
     adm::SerializeValue(rec.record, &buf);
   }
+  metrics.appends->Increment();
+  metrics.bytes->Add(buf.size() + 4);
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.appends;
   stats_.bytes_written += buf.size() + 4;
@@ -41,6 +68,7 @@ Status Wal::Append(const WalRecord& rec) {
 }
 
 Status Wal::Flush() {
+  obs::ScopedLatency timer(Metrics().flush_us);
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) {
     file_->flush();

@@ -6,10 +6,13 @@
 
 #include <thread>
 
+#include <algorithm>
+
 #include "adm/json.h"
 #include "feed/active_feed_manager.h"
 #include "feed/adapter.h"
 #include "feed/static_pipeline.h"
+#include "obs/tracer.h"
 #include "workload/tweets.h"
 #include "sqlpp/parser.h"
 #include "workload/usecases.h"
@@ -198,6 +201,65 @@ TEST_F(FeedPipelineTest, DynamicEnrichmentSeesReferenceUpdatesBetweenBatches) {
     EXPECT_EQ(flag, id < 10 ? "Green" : "Red") << rec.ToString();
   }
   ASSERT_TRUE(ComputingJob::Undeploy("Manual", cluster_.get()).ok());
+}
+
+TEST_F(FeedPipelineTest, TracedBatchCrossesAllThreePipelineStages) {
+  obs::Tracer::Default().Clear();
+  auto records = MakeTweets(120);
+  ActiveFeedManager::StartArgs args;
+  args.config.name = "F";
+  args.config.type_name = "TweetType";
+  args.config.batch_size = 30;
+  args.connection.dataset = "EnrichedTweets";
+  args.connection.apply_function = "tweetSafetyCheck";
+  args.adapter_factory = MakeVectorAdapterFactory(records);
+  ASSERT_TRUE(afm_->StartFeed(std::move(args)).ok());
+  ASSERT_TRUE(afm_->WaitForFeed("F").ok());
+
+  // Every non-empty batch left a trace whose spans cover the decoupled
+  // pipeline end to end: intake pull -> computing job -> storage job.
+  std::vector<obs::BatchTrace> traces = obs::Tracer::Default().Recent();
+  ASSERT_FALSE(traces.empty());
+  bool found_full = false;
+  for (const auto& trace : traces) {
+    EXPECT_EQ(trace.feed, "F");
+    auto min_start = [&](const std::string& name) {
+      double best = -1;
+      for (const auto& s : trace.spans) {
+        if (s.name == name && (best < 0 || s.start_us < best)) best = s.start_us;
+      }
+      return best;
+    };
+    for (const auto& s : trace.spans) {
+      EXPECT_GE(s.dur_us, 0) << s.name;
+      EXPECT_GE(s.start_us, 0) << s.name;
+      EXPECT_GE(s.node, 0) << s.name;
+    }
+    double pull = min_start("intake.pull");
+    double parse = min_start("compute.parse");
+    double init = min_start("compute.init");
+    double enrich = min_start("compute.enrich");
+    double ship = min_start("compute.ship");
+    double store = min_start("storage.store");
+    double flush = min_start("storage.flush");
+    if (pull < 0 || store < 0) continue;  // trailing partial batch
+    ASSERT_GE(parse, 0);
+    ASSERT_GE(init, 0);
+    ASSERT_GE(enrich, 0);
+    ASSERT_GE(ship, 0);
+    ASSERT_GE(flush, 0);
+    // Stage starts are ordered: a node parses only after its pull returned,
+    // enriches after state init, ships after enrichment, and the storage job
+    // stores/flushes a frame only after some node shipped it.
+    EXPECT_LE(pull, parse);
+    EXPECT_LE(parse, init);
+    EXPECT_LE(init, enrich);
+    EXPECT_LE(enrich, ship);
+    EXPECT_LE(ship, store);
+    EXPECT_LE(store, flush);
+    found_full = true;
+  }
+  EXPECT_TRUE(found_full);
 }
 
 TEST_F(FeedPipelineTest, StaticPipelineRejectsStatefulSqlppUdf) {

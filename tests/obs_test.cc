@@ -1,0 +1,238 @@
+// Tests for the observability subsystem: metrics primitives, the registry,
+// the batch tracer, and the JSON snapshot exporter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "adm/json.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/tracer.h"
+
+namespace idea::obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 is [0, 1); bucket i >= 1 is [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(0.5), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(1.5), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  // Every bucket's lower bound maps back to that bucket.
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(
+                  static_cast<double>(Histogram::BucketLowerBound(i))),
+              i)
+        << "bucket " << i;
+  }
+  // Values beyond the top bucket's lower bound clamp into the top bucket.
+  EXPECT_EQ(Histogram::BucketIndex(1e30), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0u);
+}
+
+TEST(HistogramTest, PercentileExtraction) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  for (int i = 1; i <= 100; ++i) h.Record(i);  // ~uniform over [1, 100]
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  // Log-scale buckets bound each percentile to within its power-of-two
+  // bucket; the p50 of 1..100 lies in [32, 64), p95/p99 in [64, 100].
+  double p50 = h.Percentile(0.50);
+  EXPECT_GE(p50, 32);
+  EXPECT_LT(p50, 64);
+  double p95 = h.Percentile(0.95);
+  EXPECT_GE(p95, 64);
+  EXPECT_LE(p95, 100);
+  // Percentiles never exceed the recorded max, even in the max's bucket.
+  EXPECT_LE(h.Percentile(0.999), 100);
+  EXPECT_LE(h.Percentile(1.0), 100);
+  // Monotone in q.
+  EXPECT_LE(h.Percentile(0.1), p50);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, h.Percentile(0.99));
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 42);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 42);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min_us, 42);
+  EXPECT_DOUBLE_EQ(s.max_us, 42);
+  EXPECT_DOUBLE_EQ(s.p50_us, 42);
+}
+
+TEST(GaugeTest, HighWatermark) {
+  Gauge g;
+  g.Set(3);
+  g.Set(10);
+  g.Set(2);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.high_watermark(), 10);
+  g.Add(5);
+  EXPECT_EQ(g.value(), 7);
+  EXPECT_EQ(g.high_watermark(), 10);
+  g.Add(20);
+  EXPECT_EQ(g.high_watermark(), 27);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("idea.test.c");
+  Counter* b = reg.GetCounter("idea.test.c");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.GetCounter("idea.test.other"), a);
+  a->Add(7);
+  EXPECT_EQ(b->value(), 7u);
+}
+
+TEST(RegistryTest, ConcurrentCounterIncrements) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter* c = reg.GetCounter("idea.test.concurrent");
+      Histogram* h = reg.GetHistogram("idea.test.concurrent_us");
+      for (int i = 0; i < kIncrements; ++i) {
+        c->Increment();
+        h->Record(static_cast<double>(i % 512));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("idea.test.concurrent")->value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(reg.GetHistogram("idea.test.concurrent_us")->count(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(RegistryTest, ScopePrefixesNames) {
+  MetricsRegistry reg;
+  Scope scope(&reg, "idea.feed.F");
+  scope.Counter("records")->Add(3);
+  EXPECT_EQ(reg.GetCounter("idea.feed.F.records")->value(), 3u);
+}
+
+TEST(TracerTest, SpansAttachToTrace) {
+  Tracer tracer(4);
+  uint64_t id = tracer.StartTrace("F");
+  ASSERT_NE(id, 0u);
+  tracer.AddSpan(id, Span{"intake.pull", 0, 1.0, 2.0});
+  tracer.AddSpan(id, Span{"storage.store", 1, 3.0, 4.0});
+  BatchTrace trace;
+  ASSERT_TRUE(tracer.Find(id, &trace));
+  ASSERT_EQ(trace.spans.size(), 2u);
+  EXPECT_EQ(trace.spans[0].name, "intake.pull");
+  EXPECT_EQ(trace.spans[1].node, 1);
+  // The ring evicts oldest-first; dropped traces ignore late spans.
+  for (int i = 0; i < 10; ++i) tracer.StartTrace("F");
+  EXPECT_FALSE(tracer.Find(id, &trace));
+  tracer.AddSpan(id, Span{"late", 0, 0, 0});  // must not crash
+  EXPECT_EQ(tracer.Recent().size(), 4u);
+  uint64_t dropped = tracer.StartTrace("F");
+  tracer.Drop(dropped);
+  EXPECT_FALSE(tracer.Find(dropped, &trace));
+}
+
+TEST(SnapshotTest, JsonRoundTrip) {
+  MetricsRegistry reg;
+  reg.GetCounter("idea.test.records")->Add(12);
+  reg.GetGauge("idea.test.depth")->Set(5);
+  reg.GetGauge("idea.test.depth")->Set(2);
+  reg.GetHistogram("idea.test.lat_us")->Record(100);
+  reg.GetHistogram("idea.test.lat_us")->Record(200);
+
+  Tracer tracer;
+  uint64_t id = tracer.StartTrace("F");
+  tracer.AddSpan(id, Span{"compute.enrich", 2, 10.0, 5.5});
+
+  SnapshotExporter exporter(&reg, &tracer);
+  std::string lines = exporter.SnapshotJsonLines();
+  std::istringstream in(lines);
+  std::string line;
+
+  ASSERT_TRUE(std::getline(in, line));
+  auto metrics = adm::ParseJson(line);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString() << "\n" << line;
+  EXPECT_EQ(metrics->GetField("type")->AsString(), "metrics");
+  const adm::Value* counters = metrics->GetField("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->GetField("idea.test.records")->AsInt(), 12);
+  const adm::Value* depth = metrics->GetField("gauges")->GetField("idea.test.depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->GetField("value")->AsInt(), 2);
+  EXPECT_EQ(depth->GetField("high_watermark")->AsInt(), 5);
+  const adm::Value* lat = metrics->GetField("histograms")->GetField("idea.test.lat_us");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->GetField("count")->AsInt(), 2);
+  EXPECT_DOUBLE_EQ(lat->GetField("max_us")->AsNumber(), 200);
+  EXPECT_GT(lat->GetField("p50_us")->AsNumber(), 0);
+
+  ASSERT_TRUE(std::getline(in, line));
+  auto trace = adm::ParseJson(line);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString() << "\n" << line;
+  EXPECT_EQ(trace->GetField("type")->AsString(), "trace");
+  EXPECT_EQ(trace->GetField("feed")->AsString(), "F");
+  const adm::Value* spans = trace->GetField("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->AsArray().size(), 1u);
+  EXPECT_EQ(spans->AsArray()[0].GetField("name")->AsString(), "compute.enrich");
+  EXPECT_EQ(spans->AsArray()[0].GetField("node")->AsInt(), 2);
+  EXPECT_DOUBLE_EQ(spans->AsArray()[0].GetField("dur_us")->AsNumber(), 5.5);
+}
+
+TEST(SnapshotTest, PeriodicTickAgainstSuppliedClock) {
+  MetricsRegistry reg;
+  reg.GetCounter("idea.test.ticks")->Increment();
+  SnapshotExporter exporter(&reg);
+  std::string path = ::testing::TempDir() + "/obs_tick_test.jsonl";
+  ASSERT_TRUE(exporter.OpenFile(path).ok());
+  exporter.SetPeriodMicros(1000);
+  EXPECT_TRUE(exporter.Tick(0));      // first tick always writes
+  EXPECT_FALSE(exporter.Tick(500));   // within the period
+  EXPECT_TRUE(exporter.Tick(1500));
+  EXPECT_FALSE(exporter.Tick(1600));
+  EXPECT_TRUE(exporter.Tick(99999));
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(adm::ParseJson(line).ok()) << line;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  std::remove(path.c_str());
+}
+
+TEST(RegistryTest, SnapshotListsAllMetrics) {
+  MetricsRegistry reg;
+  reg.GetCounter("c1")->Increment();
+  reg.GetGauge("g1")->Set(1);
+  reg.GetHistogram("h1")->Record(1);
+  RegistrySnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.histograms.size(), 1u);
+  reg.ResetForTest();
+  EXPECT_EQ(reg.GetCounter("c1")->value(), 0u);
+  EXPECT_EQ(reg.GetHistogram("h1")->count(), 0u);
+}
+
+}  // namespace
+}  // namespace idea::obs

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the tree under ThreadSanitizer and runs the concurrency-heavy test
+# binaries (runtime holders/executor, the three-job feed pipeline, and the
+# observability primitives). Usage:
+#
+#   tests/run_tsan.sh [build-dir]
+#
+# Pass IDEA_SANITIZE=address through the same CMake option for an ASan run.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-tsan}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DIDEA_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+  --target runtime_test feed_pipeline_test obs_test
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+for t in runtime_test feed_pipeline_test obs_test; do
+  echo "== tsan: ${t} =="
+  "${BUILD_DIR}/tests/${t}"
+done
+echo "tsan: all clean"
