@@ -14,6 +14,7 @@
 
 #include "adm/json.h"
 #include "feed/simulation.h"
+#include "obs/metrics.h"
 #include "sqlpp/parser.h"
 #include "workload/native_udfs.h"
 #include "workload/reference_data.h"
@@ -221,6 +222,7 @@ class BenchJsonWriter {
   }
   ~BenchJsonWriter() {
     if (file_ != nullptr) {
+      AddSchedulerStats();
       std::fclose(file_);
       std::printf("\nwrote %s\n", path_.c_str());
     }
@@ -243,6 +245,23 @@ class BenchJsonWriter {
   }
 
  private:
+  /// Final row: scheduling statistics of the shared "sim" worker pool every
+  /// simulated batch ran on (one task per computing-job invocation), so each
+  /// BENCH_*.json also records the execution substrate's behaviour.
+  void AddSchedulerStats() {
+    auto& reg = obs::MetricsRegistry::Default();
+    std::fprintf(
+        file_,
+        "{\"series\":\"scheduler\",\"pool\":\"sim\",\"tasks_run\":%" PRIu64
+        ",\"tasks_failed\":%" PRIu64 ",\"queue_depth_hwm\":%" PRId64
+        ",\"queue_wait_p95_us\":%.3f,\"task_run_p95_us\":%.3f}\n",
+        reg.GetCounter("idea.sched.sim.tasks_run")->value(),
+        reg.GetCounter("idea.sched.sim.tasks_failed")->value(),
+        reg.GetGauge("idea.sched.sim.queue_depth")->high_watermark(),
+        reg.GetHistogram("idea.sched.sim.queue_wait_us")->Percentile(0.95),
+        reg.GetHistogram("idea.sched.sim.task_run_us")->Percentile(0.95));
+  }
+
   std::string path_;
   std::FILE* file_;
 };

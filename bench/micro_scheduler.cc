@@ -1,0 +1,100 @@
+// Execution-substrate micro bench: dispatch cost of the persistent worker
+// pool (runtime::TaskScheduler, what every job now runs on) vs spawning a
+// std::thread per task (the pre-pool model, one thread per stage instance /
+// per-node task per invocation). Emits BENCH_sched.json.
+//
+// The quantity measured is the fig24 fixed cost: each computing-job
+// invocation used to pay N thread spawns + joins; on the pool it pays N
+// enqueue/dequeue hand-offs on already-running workers.
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/virtual_clock.h"
+#include "runtime/task_scheduler.h"
+
+namespace {
+
+constexpr size_t kTasksPerGroup = 3;  // one task per node, 3-node cluster
+constexpr size_t kGroups = 2000;      // "invocations"
+
+std::atomic<uint64_t> g_sink{0};
+
+void Work() { g_sink.fetch_add(1, std::memory_order_relaxed); }
+
+double RunPooled(idea::runtime::TaskScheduler* pool) {
+  idea::WallTimer timer;
+  timer.Start();
+  for (size_t g = 0; g < kGroups; ++g) {
+    idea::runtime::TaskGroup group;
+    for (size_t t = 0; t < kTasksPerGroup; ++t) {
+      (void)group.Launch(pool, []() -> idea::Status {
+        Work();
+        return idea::Status::OK();
+      });
+    }
+    (void)group.Wait();
+  }
+  return timer.ElapsedMicros();
+}
+
+double RunThreadPerTask() {
+  idea::WallTimer timer;
+  timer.Start();
+  for (size_t g = 0; g < kGroups; ++g) {
+    std::vector<std::thread> threads;
+    threads.reserve(kTasksPerGroup);
+    for (size_t t = 0; t < kTasksPerGroup; ++t) threads.emplace_back(Work);
+    for (auto& th : threads) th.join();
+  }
+  return timer.ElapsedMicros();
+}
+
+}  // namespace
+
+int main() {
+  idea::runtime::TaskScheduler pool("bench");
+  // Warm-up: grow the pool to steady state before timing.
+  (void)RunPooled(&pool);
+
+  double pooled_us = RunPooled(&pool);
+  double spawned_us = RunThreadPerTask();
+  idea::runtime::SchedulerStats stats = pool.Stats();
+
+  double pooled_per_group = pooled_us / static_cast<double>(kGroups);
+  double spawned_per_group = spawned_us / static_cast<double>(kGroups);
+  std::printf("per-invocation dispatch cost (%zu tasks/invocation, %zu invocations)\n",
+              kTasksPerGroup, kGroups);
+  std::printf("  worker pool     : %8.2f us\n", pooled_per_group);
+  std::printf("  thread-per-task : %8.2f us\n", spawned_per_group);
+  std::printf("  speedup         : %8.2fx\n", spawned_per_group / pooled_per_group);
+  std::printf("pool stats: %" PRIu64 " tasks on %zu workers, queue hwm %" PRId64
+              ", queue wait p95 %.1f us, task run p95 %.1f us\n",
+              stats.tasks_run, stats.workers, stats.queue_depth_high_watermark,
+              stats.queue_wait_p95_us, stats.task_run_p95_us);
+
+  std::FILE* f = std::fopen("BENCH_sched.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\"series\":\"pool\",\"groups\":%zu,\"tasks_per_group\":%zu,"
+                 "\"per_group_us\":%.3f,\"per_task_us\":%.3f}\n",
+                 kGroups, kTasksPerGroup, pooled_per_group,
+                 pooled_per_group / kTasksPerGroup);
+    std::fprintf(f,
+                 "{\"series\":\"thread_spawn\",\"groups\":%zu,\"tasks_per_group\":%zu,"
+                 "\"per_group_us\":%.3f,\"per_task_us\":%.3f}\n",
+                 kGroups, kTasksPerGroup, spawned_per_group,
+                 spawned_per_group / kTasksPerGroup);
+    std::fprintf(f,
+                 "{\"series\":\"scheduler\",\"pool\":\"bench\",\"tasks_run\":%" PRIu64
+                 ",\"tasks_failed\":%" PRIu64 ",\"queue_depth_hwm\":%" PRId64
+                 ",\"queue_wait_p95_us\":%.3f,\"task_run_p95_us\":%.3f}\n",
+                 stats.tasks_run, stats.tasks_failed, stats.queue_depth_high_watermark,
+                 stats.queue_wait_p95_us, stats.task_run_p95_us);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_sched.json\n");
+  }
+  return 0;
+}

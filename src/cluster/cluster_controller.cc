@@ -1,8 +1,6 @@
 #include "cluster/cluster_controller.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "common/virtual_clock.h"
 
@@ -12,32 +10,62 @@ Cluster::Cluster(ClusterConfig config) : config_(config), cost_model_(config.cos
   for (size_t i = 0; i < config_.nodes; ++i) {
     nodes_.push_back(std::make_unique<NodeController>(i));
   }
+  cc_scheduler_ = std::make_unique<runtime::TaskScheduler>("cc");
+  host_pool_ = std::make_unique<runtime::TaskScheduler>(
+      "host", std::max<size_t>(1, config_.host_workers));
+}
+
+Cluster::~Cluster() {
+  // Stop order: coordination loops first (they fan work out to the nodes),
+  // then the per-node pools (NodeController destructors), then the capped
+  // host pool.
+  cc_scheduler_->Stop();
+  nodes_.clear();
+  host_pool_->Stop();
+}
+
+std::vector<runtime::NodeBinding> Cluster::ExecutorBindings(size_t partitions) {
+  std::vector<runtime::NodeBinding> bindings;
+  bindings.reserve(partitions);
+  for (size_t p = 0; p < partitions; ++p) {
+    NodeController& nc = *nodes_[p % nodes_.size()];
+    bindings.push_back(runtime::NodeBinding{nc.id(), &nc.scheduler()});
+  }
+  return bindings;
+}
+
+runtime::SchedulerStats Cluster::SchedulerStatsSummary() const {
+  runtime::SchedulerStats total;
+  auto fold = [&](const runtime::SchedulerStats& s) {
+    total.tasks_run += s.tasks_run;
+    total.tasks_failed += s.tasks_failed;
+    total.workers += s.workers;
+    total.queue_depth += s.queue_depth;
+    total.queue_depth_high_watermark =
+        std::max(total.queue_depth_high_watermark, s.queue_depth_high_watermark);
+    total.queue_wait_p95_us = std::max(total.queue_wait_p95_us, s.queue_wait_p95_us);
+    total.task_run_p95_us = std::max(total.task_run_p95_us, s.task_run_p95_us);
+  };
+  for (const auto& node : nodes_) fold(node->scheduler().Stats());
+  fold(cc_scheduler_->Stats());
+  return total;
 }
 
 std::vector<double> Cluster::MeasureNodeTasks(
     const std::vector<std::function<void()>>& per_node_work) const {
   std::vector<double> cpu_micros(per_node_work.size(), 0);
-  size_t workers = std::max<size_t>(1, std::min(config_.host_workers,
-                                                per_node_work.size()));
-  std::atomic<size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      size_t i = next.fetch_add(1);
-      if (i >= per_node_work.size()) return;
+  runtime::TaskGroup group;
+  for (size_t i = 0; i < per_node_work.size(); ++i) {
+    Status st = group.Launch(host_pool_.get(), [&, i]() -> Status {
       ThreadCpuTimer timer;
       timer.Start();
       per_node_work[i]();
       cpu_micros[i] = cost_model_.ScaleCpu(timer.ElapsedMicros());
-    }
-  };
-  if (workers == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(workers);
-    for (size_t w = 0; w < workers; ++w) threads.emplace_back(worker);
-    for (auto& t : threads) t.join();
+      return Status::OK();
+    });
+    if (!st.ok()) break;  // stopping: remaining entries stay 0
   }
+  (void)group.Wait();
   return cpu_micros;
 }
 

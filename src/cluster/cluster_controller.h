@@ -3,13 +3,21 @@
 // Feed Manager in src/feed), and owns the predeployed-job cache.
 //
 // Two execution modes:
-//   * kThreads     — every partitioned task really runs on its own thread
-//                    (wall-clock timing; integration tests / examples).
-//   * kVirtualTime — tasks still execute (on a small worker pool) but each
-//                    task's *thread CPU time* is measured and node-parallel
-//                    elapsed time is computed analytically together with the
-//                    CostModel; this is how a 2-core container reproduces
-//                    24-node scaling shapes. See DESIGN.md.
+//   * kThreads     — every partitioned task really runs on the persistent
+//                    worker pool of its node (wall-clock timing; integration
+//                    tests / examples).
+//   * kVirtualTime — tasks still execute (on a capped host worker pool) but
+//                    each task's *thread CPU time* is measured and
+//                    node-parallel elapsed time is computed analytically
+//                    together with the CostModel; this is how a 2-core
+//                    container reproduces 24-node scaling shapes. See
+//                    DESIGN.md.
+//
+// Execution substrate: every NodeController owns a persistent
+// runtime::TaskScheduler, and the CC owns one more ("cc") for coordination
+// work (feed driver loops, pipelined invocation coordinators). Pools start
+// with the cluster and stop — draining — when it is destroyed, so they share
+// the owning Instance's lifecycle.
 #pragma once
 
 #include <functional>
@@ -18,7 +26,9 @@
 
 #include "cluster/cost_model.h"
 #include "cluster/node_controller.h"
+#include "runtime/job_executor.h"
 #include "runtime/predeployed.h"
+#include "runtime/task_scheduler.h"
 
 namespace idea::cluster {
 
@@ -35,6 +45,7 @@ struct ClusterConfig {
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
+  ~Cluster();
 
   size_t node_count() const { return nodes_.size(); }
   NodeController& node(size_t i) { return *nodes_[i]; }
@@ -43,9 +54,22 @@ class Cluster {
   ExecutionMode mode() const { return config_.mode; }
   const ClusterConfig& config() const { return config_; }
 
+  /// The CC's own pool: feed drivers and invocation coordinators run here so
+  /// control loops recycle threads like everything else.
+  runtime::TaskScheduler& cc_scheduler() { return *cc_scheduler_; }
+
+  /// Executor bindings for a `partitions`-wide job: partition p runs on node
+  /// p % node_count() with that node's id, so OperatorContext::node_id in
+  /// traces/metrics always matches NodeController::id().
+  std::vector<runtime::NodeBinding> ExecutorBindings(size_t partitions);
+
+  /// Aggregate scheduling statistics over every node pool plus the CC pool
+  /// (p95s are the max across pools, not a merged distribution).
+  runtime::SchedulerStats SchedulerStatsSummary() const;
+
   /// Executes one task per node and returns each task's simulated CPU time
   /// in microseconds (measured thread CPU, scaled by the cost model). Tasks
-  /// run concurrently on up to `host_workers` host threads.
+  /// run concurrently on up to `host_workers` pooled host threads.
   std::vector<double> MeasureNodeTasks(
       const std::vector<std::function<void()>>& per_node_work) const;
 
@@ -58,6 +82,10 @@ class Cluster {
   CostModel cost_model_;
   std::vector<std::unique_ptr<NodeController>> nodes_;
   runtime::PredeployedJobManager predeployed_;
+  std::unique_ptr<runtime::TaskScheduler> cc_scheduler_;
+  /// Capped pool for virtual-time measurement steps (independent tasks only;
+  /// a capped pool must never run interdependent blocking tasks).
+  std::unique_ptr<runtime::TaskScheduler> host_pool_;
 };
 
 }  // namespace idea::cluster

@@ -1,6 +1,7 @@
 #include "feed/active_feed_manager.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/virtual_clock.h"
 #include "obs/metrics.h"
@@ -40,6 +41,9 @@ Status ActiveFeedManager::StartFeed(StartArgs args) {
   auto feed = std::make_unique<ActiveFeed>();
   feed->config = args.config;
   feed->connection = args.connection;
+  if (feed->config.pipeline_depth > 1) {
+    feed->sequencer = std::make_unique<FeedPipelineSequencer>(cluster_->node_count());
+  }
   feed->storage = std::make_unique<StorageJob>(name, cluster_, dataset);
   Status st = feed->storage->Start();
   if (!st.ok()) {
@@ -52,15 +56,38 @@ Status ActiveFeedManager::StartFeed(StartArgs args) {
     (void)ComputingJob::Undeploy(name, cluster_);
     return st;
   }
-  ActiveFeed* raw = feed.get();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    feeds_.emplace(name, std::move(feed));
-  }
   // The intake job asks the AFM to keep invoking computing jobs (§6.1);
-  // the driver thread is that loop.
-  raw->driver = std::thread([this, raw] { DriveFeed(raw); });
+  // the driver task on the CC's pool is that loop.
+  ActiveFeed* raw = feed.get();
+  st = raw->driver.Launch(&cluster_->cc_scheduler(), [this, raw]() -> Status {
+    DriveFeed(raw);
+    return Status::OK();
+  });
+  if (!st.ok()) {
+    // CC pool is stopping (shutdown). Unwind: no driver will ever pull, so
+    // stop the adapters and drain the backlog before the jobs' destructors
+    // join their tasks.
+    raw->intake->StopAdapters();
+    DrainIntakeBacklog(raw);
+    (void)ComputingJob::Undeploy(name, cluster_);
+    for (size_t p = 0; p < cluster_->node_count(); ++p) {
+      (void)cluster_->node(p).holders().Unregister(
+          runtime::PartitionHolderId{name, "intake", p});
+      (void)cluster_->node(p).holders().Unregister(
+          runtime::PartitionHolderId{name, "storage", p});
+    }
+    return st;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  feeds_.emplace(name, std::move(feed));
   return Status::OK();
+}
+
+void ActiveFeedManager::DrainIntakeBacklog(ActiveFeed* feed) {
+  for (size_t p = 0; p < cluster_->node_count(); ++p) {
+    std::vector<std::string> junk;
+    while (feed->intake->holder(p)->PullBatch(1u << 12, &junk)) junk.clear();
+  }
 }
 
 void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
@@ -73,35 +100,71 @@ void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
   obs::Histogram* refresh_us = scope.Histogram("refresh_period_us");
   obs::Counter* records_metric = scope.Counter("records_ingested");
   obs::Counter* jobs_metric = scope.Counter("computing_jobs");
-  Status final_status;
-  while (true) {
-    auto inv = ComputingJob::RunOnce(feed->config.name, feed->config, cluster_);
-    if (!inv.ok()) {
-      final_status = inv.status();
-      break;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      feed->stats.records_ingested += inv->records_out;
-      feed->stats.parse_errors += inv->parse_errors;
+  obs::Gauge* inflight = scope.Gauge("inflight_invocations");
+
+  const size_t depth =
+      feed->sequencer == nullptr ? 1 : std::max<size_t>(1, feed->config.pipeline_depth);
+  std::atomic<uint64_t> next_ticket{0};
+
+  // One lane runs a sequential chain of invocations; `depth` lanes overlap
+  // up to `depth` of them. Global tickets keep per-node pulls and ships in
+  // invocation order no matter which lane runs which ticket, so storage sees
+  // batches exactly as at depth 1.
+  auto lane = [&]() -> Status {
+    while (true) {
+      const uint64_t ticket = next_ticket.fetch_add(1);
+      inflight->Add(1);
+      auto inv = ComputingJob::RunOnce(feed->config.name, feed->config, cluster_,
+                                       feed->sequencer.get(), ticket);
+      inflight->Add(-1);
+      if (!inv.ok()) {
+        // First failure stops the adapters; the backlog is drained after the
+        // lanes join so the intake job can reach EOF.
+        if (feed->final_status.Set(inv.status())) feed->intake->StopAdapters();
+        return inv.status();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        feed->stats.records_ingested += inv->records_out;
+        feed->stats.parse_errors += inv->parse_errors;
+        if (inv->records_in > 0 || !inv->intake_exhausted) {
+          ++feed->stats.computing_jobs;
+          feed->stats.compute_micros_total += inv->wall_micros;
+        }
+      }
       if (inv->records_in > 0 || !inv->intake_exhausted) {
-        ++feed->stats.computing_jobs;
-        feed->stats.compute_micros_total += inv->wall_micros;
+        refresh_us->Record(inv->wall_micros);
+        records_metric->Add(inv->records_out);
+        jobs_metric->Increment();
+      }
+      if (inv->intake_exhausted) return Status::OK();
+    }
+  };
+
+  if (depth == 1) {
+    (void)lane();
+  } else {
+    runtime::TaskGroup lanes;
+    for (size_t i = 0; i < depth; ++i) {
+      Status launched = lanes.Launch(&cluster_->cc_scheduler(), lane);
+      if (!launched.ok()) {
+        feed->final_status.Set(launched);
+        break;
       }
     }
-    if (inv->records_in > 0 || !inv->intake_exhausted) {
-      refresh_us->Record(inv->wall_micros);
-      records_metric->Add(inv->records_out);
-      jobs_metric->Increment();
-    }
-    if (inv->intake_exhausted) break;
+    (void)lanes.Wait();
+  }
+
+  if (feed->final_status.failed()) {
+    feed->intake->StopAdapters();
+    DrainIntakeBacklog(feed);
   }
   // When the last computing job for the feed finishes, the storage job stops
   // accordingly (§6.1).
   feed->storage->Close();
   feed->storage->Join();
   feed->intake->Join();
-  if (final_status.ok()) final_status = feed->storage->first_error();
+  feed->final_status.Set(feed->storage->first_error());
   // Fold the holders' back-pressure view into the feed summary now that the
   // pipeline is quiescent.
   FeedRuntimeStats holder_summary;
@@ -118,7 +181,6 @@ void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
     holder_summary.blocked_pulls += in.blocked_pulls + st.blocked_pulls;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  feed->final_status = final_status;
   feed->stats.intake_queue_high_watermark = holder_summary.intake_queue_high_watermark;
   feed->stats.storage_queue_high_watermark =
       holder_summary.storage_queue_high_watermark;
@@ -156,7 +218,7 @@ Result<FeedRuntimeStats> ActiveFeedManager::WaitForFeedStats(
     feed = std::move(it->second);
     feeds_.erase(it);
   }
-  if (feed->driver.joinable()) feed->driver.join();
+  (void)feed->driver.Wait();
   (void)ComputingJob::Undeploy(feed_name, cluster_);
   // Unregister partition holders so the feed can be restarted.
   for (size_t p = 0; p < cluster_->node_count(); ++p) {
@@ -165,7 +227,7 @@ Result<FeedRuntimeStats> ActiveFeedManager::WaitForFeedStats(
     (void)cluster_->node(p).holders().Unregister(
         runtime::PartitionHolderId{feed_name, "storage", p});
   }
-  IDEA_RETURN_NOT_OK(feed->final_status);
+  IDEA_RETURN_NOT_OK(feed->final_status.Get());
   return feed->stats;
 }
 
@@ -191,3 +253,4 @@ bool ActiveFeedManager::IsActive(const std::string& feed_name) const {
 }
 
 }  // namespace idea::feed
+

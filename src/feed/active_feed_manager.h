@@ -3,27 +3,31 @@
 // batches arrive. Orchestrates the full lifecycle:
 //
 //   START FEED  -> deploy computing job, start intake + storage jobs,
-//                  start the invocation loop
+//                  start the invocation loop (a task on the CC's pool)
 //   (loop)      -> computing job per batch; each invocation refreshes the
-//                  UDF's intermediate state
-//   STOP FEED   -> adapters stop, intake EOF, in-flight computing job
-//                  finishes with a partial batch, storage job drains & stops
+//                  UDF's intermediate state. With pipeline_depth K > 1, up
+//                  to K invocations overlap (Model-3-style, §4.3.3) while a
+//                  FeedPipelineSequencer keeps per-node intake pulls and
+//                  storage ships in invocation order.
+//   STOP FEED   -> adapters stop, intake EOF, in-flight computing jobs
+//                  finish with partial batches, storage job drains & stops
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "cluster/cluster_controller.h"
+#include "common/first_error.h"
 #include "common/status.h"
 #include "feed/computing_job.h"
 #include "feed/feed.h"
 #include "feed/intake_job.h"
 #include "feed/storage_job.h"
 #include "feed/udf.h"
+#include "runtime/task_scheduler.h"
 #include "storage/catalog.h"
 
 namespace idea::feed {
@@ -63,13 +67,20 @@ class ActiveFeedManager {
     FeedConnection connection;
     std::unique_ptr<IntakeJob> intake;
     std::unique_ptr<StorageJob> storage;
-    std::thread driver;
+    /// Orders overlapping invocations; null when pipeline_depth == 1
+    /// (sequential invocations need no line).
+    std::unique_ptr<FeedPipelineSequencer> sequencer;
+    /// The DriveFeed invocation loop, a task on the CC's pool.
+    runtime::TaskGroup driver;
     FeedRuntimeStats stats;
-    Status final_status;
+    common::FirstError final_status;
     bool finished = false;
   };
 
   void DriveFeed(ActiveFeed* feed);
+  /// Pulls leftover intake batches after a failure so adapters blocked on a
+  /// full holder can finish and EOF lands.
+  void DrainIntakeBacklog(ActiveFeed* feed);
 
   cluster::Cluster* cluster_;
   storage::Catalog* catalog_;

@@ -1,8 +1,6 @@
 #include "feed/computing_job.h"
 
 #include <atomic>
-#include <mutex>
-#include <thread>
 
 #include "common/virtual_clock.h"
 #include "obs/metrics.h"
@@ -49,9 +47,8 @@ Status ComputingJob::Deploy(const std::string& feed_name, const FeedConfig& conf
         } else if (is_native) {
           // Instantiated per node; (re)initialized per invocation so dynamic
           // enrichment sees resource updates.
-          IDEA_ASSIGN_OR_RETURN(
-              artifact->native,
-              udfs->CreateNativeInstance(udf, "node-" + std::to_string(node)));
+          IDEA_ASSIGN_OR_RETURN(artifact->native,
+                                udfs->CreateNativeInstance(udf, cluster->node(node).id()));
           artifact->native_name = udf;
         }
         return std::unique_ptr<runtime::JobArtifact>(std::move(artifact));
@@ -64,7 +61,9 @@ Status ComputingJob::Undeploy(const std::string& feed_name, cluster::Cluster* cl
 
 Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
                                                   const FeedConfig& config,
-                                                  cluster::Cluster* cluster) {
+                                                  cluster::Cluster* cluster,
+                                                  FeedPipelineSequencer* sequencer,
+                                                  uint64_t ticket) {
   const size_t nodes = cluster->node_count();
   const size_t quota = std::max<size_t>(1, config.batch_size / nodes);
   cluster->predeployed().RecordInvocation(JobId(feed_name));
@@ -85,12 +84,20 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
   timer.Start();
   std::atomic<uint64_t> records_in{0}, records_out{0}, parse_errors{0};
   std::atomic<size_t> exhausted_nodes{0};
-  std::vector<Status> statuses(nodes);
   std::vector<std::vector<obs::Span>> node_spans(nodes);
-  std::vector<std::thread> threads;
+  runtime::TaskGroup group;
 
   for (size_t p = 0; p < nodes; ++p) {
-    threads.emplace_back([&, p] {
+    Status launched = group.Launch(&cluster->node(p).scheduler(), [&, p]() -> Status {
+      // Turn order in the feed's pipeline: the pull turn is released right
+      // after the batch is collected (the next invocation may then pull),
+      // the ship turn right after frames reach the storage holder. The RAII
+      // destructors advance both lines on *every* exit path — an error or an
+      // exhausted intake must never wedge later tickets.
+      runtime::TurnstileTurn pull_turn(
+          sequencer != nullptr ? &sequencer->pull_lines[p] : nullptr, ticket);
+      runtime::TurnstileTurn ship_turn(
+          sequencer != nullptr ? &sequencer->ship_lines[p] : nullptr, ticket);
       // Spans are buffered per node and flushed to the tracer after the
       // barrier, keeping the tracer's lock off the hot path.
       std::vector<obs::Span>& spans = node_spans[p];
@@ -113,13 +120,15 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
           return Status::Internal("partition holders for feed '" + feed_name +
                                   "' missing on node " + std::to_string(p));
         }
-        // Collector: pull this node's share of the batch.
+        // Collector: pull this node's share of the batch, in ticket order.
+        pull_turn.Acquire();
         std::vector<std::string> raw;
         double t0 = obs::NowMicros();
         if (!intake->PullBatch(quota, &raw)) {
           exhausted_nodes.fetch_add(1);
           return Status::OK();
         }
+        pull_turn.Release();
         span("intake.pull", t0);
         records_in.fetch_add(raw.size(), std::memory_order_relaxed);
         // Parser.
@@ -150,8 +159,7 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
           span("compute.enrich", t0);
           run_us->Record(obs::NowMicros() - t0);
         } else if (artifact->native != nullptr) {
-          IDEA_RETURN_NOT_OK(
-              artifact->native->Initialize("node-" + std::to_string(p)));
+          IDEA_RETURN_NOT_OK(artifact->native->Initialize(cluster->node(p).id()));
           span("compute.init", init_start);
           init_us->Record(obs::NowMicros() - init_start);
           t0 = obs::NowMicros();
@@ -166,7 +174,9 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
           enriched = std::move(parsed);
         }
         records_out.fetch_add(enriched.size(), std::memory_order_relaxed);
-        // Feed pipeline sink: ship frames to the storage job.
+        // Feed pipeline sink: ship frames to the storage job, in ticket
+        // order so concurrent invocations upsert in sequential order.
+        ship_turn.Acquire();
         t0 = obs::NowMicros();
         for (auto& frame : runtime::FrameRecords(enriched, config.frame_bytes)) {
           frame.set_trace_id(trace_id);
@@ -175,13 +185,22 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
         span("compute.ship", t0);
         return Status::OK();
       };
-      statuses[p] = run();
+      return run();
     });
+    if (!launched.ok()) {
+      (void)group.Wait();
+      if (sequencer != nullptr) {
+        // Never-launched nodes must still take their turns or later tickets
+        // would wedge; the temporaries wait for and advance each line.
+        for (size_t q = p; q < nodes; ++q) {
+          runtime::TurnstileTurn(&sequencer->pull_lines[q], ticket);
+          runtime::TurnstileTurn(&sequencer->ship_lines[q], ticket);
+        }
+      }
+      return launched;
+    }
   }
-  for (auto& t : threads) t.join();
-  for (const auto& st : statuses) {
-    IDEA_RETURN_NOT_OK(st);
-  }
+  IDEA_RETURN_NOT_OK(group.Wait());
 
   ComputingInvocation out;
   out.records_in = records_in.load();

@@ -8,11 +8,14 @@
 //
 // The per-node compiled artifact (parser + forked enrichment plan or native
 // UDF instance) is distributed through the cluster's PredeployedJobManager —
-// the parameterized predeployed job of §5.1.
+// the parameterized predeployed job of §5.1. Per-node work runs as tasks on
+// each node's persistent scheduler, so repeated invocations recycle threads
+// the way predeployed jobs recycle compiled plans.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster_controller.h"
 #include "common/status.h"
@@ -20,6 +23,7 @@
 #include "feed/record_parser.h"
 #include "feed/udf.h"
 #include "runtime/predeployed.h"
+#include "runtime/task_scheduler.h"
 #include "sqlpp/enrichment_plan.h"
 #include "storage/catalog.h"
 
@@ -46,6 +50,19 @@ struct ComputingInvocation {
   uint64_t trace_id = 0;
 };
 
+/// Orders the side effects of overlapping invocations (pipeline_depth > 1).
+/// Per node there is a *pull line* (intake batches are pulled in ticket
+/// order, so batch boundaries match sequential execution) and a *ship line*
+/// (enriched frames reach the storage holder in ticket order, so
+/// last-writer-wins upserts resolve exactly as at depth 1). Only the compute
+/// between the two hand-offs overlaps. One sequencer per feed.
+struct FeedPipelineSequencer {
+  explicit FeedPipelineSequencer(size_t nodes)
+      : pull_lines(nodes), ship_lines(nodes) {}
+  std::vector<runtime::Turnstile> pull_lines;
+  std::vector<runtime::Turnstile> ship_lines;
+};
+
 class ComputingJob {
  public:
   /// Compiles and predeploys the computing job for `feed` on every node.
@@ -57,11 +74,15 @@ class ComputingJob {
   /// Removes the predeployed artifacts.
   static Status Undeploy(const std::string& feed_name, cluster::Cluster* cluster);
 
-  /// Runs one invocation across all nodes (threads mode). Pulls up to
-  /// ceil(batch_size / nodes) records per node.
+  /// Runs one invocation: per-node tasks on the node schedulers, each pulling
+  /// up to ceil(batch_size / nodes) records. With a sequencer, `ticket` is
+  /// this invocation's position in the feed's pipeline; concurrent RunOnce
+  /// calls may then overlap while pulls and ships stay ticket-ordered.
   static Result<ComputingInvocation> RunOnce(const std::string& feed_name,
                                              const FeedConfig& config,
-                                             cluster::Cluster* cluster);
+                                             cluster::Cluster* cluster,
+                                             FeedPipelineSequencer* sequencer = nullptr,
+                                             uint64_t ticket = 0);
 
   static std::string JobId(const std::string& feed_name) {
     return "computing-job:" + feed_name;

@@ -22,6 +22,12 @@ struct FeedConfig {
   bool balanced_intake = false;
   /// Target frame size for enriched data shipped to the storage job.
   size_t frame_bytes = 32 * 1024;
+  /// Computing-job invocations allowed in flight at once. 1 (default)
+  /// serializes invocations — every batch refreshes UDF state before the
+  /// next is pulled (pure Model 2, paper §4.3.3). K>1 overlaps up to K
+  /// invocations Model-3-style (state may be up to K-1 batches stale);
+  /// per-node intake pulls and storage ships stay in invocation order.
+  size_t pipeline_depth = 1;
   /// Adapter config passthrough ("adapter-name", "sockets", ...).
   std::map<std::string, std::string> adapter_config;
 };

@@ -29,24 +29,36 @@ Status IntakeJob::Start(const AdapterFactory& factory, bool balanced_intake) {
   obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.intake." + feed_name_);
   obs::Counter* adapter_records = scope.Counter("adapter_records");
   for (size_t i = 0; i < adapters_.size(); ++i) {
-    threads_.emplace_back([this, i, nodes, adapter_records] {
-      FeedAdapter* adapter = adapters_[i].get();
-      // Round-robin partitioner (Figure 23): spread records evenly so the
-      // (possibly expensive) attached UDF parallelizes well.
-      size_t next = i;  // offset per intake node to avoid skew
-      std::string raw;
-      while (adapter->Next(&raw)) {
-        if (!holders_[next % nodes]->Push(std::move(raw)).ok()) break;
-        raw.clear();
-        ++next;
-        records_.fetch_add(1, std::memory_order_relaxed);
-        adapter_records->Increment();
-      }
-      // Last adapter out marks EOF on every holder (paper §6.1).
+    // Adapter i lives on its intake node's pool: one intake node for the
+    // default single-adapter feed, every node when balanced.
+    runtime::TaskScheduler* pool = &cluster_->node(i % nodes).scheduler();
+    Status launched =
+        adapter_tasks_.Launch(pool, [this, i, nodes, adapter_records]() -> Status {
+          FeedAdapter* adapter = adapters_[i].get();
+          // Round-robin partitioner (Figure 23): spread records evenly so the
+          // (possibly expensive) attached UDF parallelizes well.
+          size_t next = i;  // offset per intake node to avoid skew
+          std::string raw;
+          while (adapter->Next(&raw)) {
+            if (!holders_[next % nodes]->Push(std::move(raw)).ok()) break;
+            raw.clear();
+            ++next;
+            records_.fetch_add(1, std::memory_order_relaxed);
+            adapter_records->Increment();
+          }
+          // Last adapter out marks EOF on every holder (paper §6.1).
+          if (live_adapters_.fetch_sub(1) == 1) {
+            for (auto& h : holders_) h->PushEof();
+          }
+          return Status::OK();
+        });
+    if (!launched.ok()) {
+      // This adapter never ran: take its EOF turn so the holders still close.
       if (live_adapters_.fetch_sub(1) == 1) {
         for (auto& h : holders_) h->PushEof();
       }
-    });
+      return launched;
+    }
   }
   return Status::OK();
 }
@@ -57,9 +69,7 @@ void IntakeJob::StopAdapters() {
 
 void IntakeJob::Join() {
   if (joined_) return;
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
-  }
+  (void)adapter_tasks_.Wait();
   joined_ = true;
 }
 

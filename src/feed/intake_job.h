@@ -2,17 +2,19 @@
 // (Figure 23, top). Adapters receive raw records on the intake node(s), the
 // round-robin partitioner spreads them across the cluster, and each node's
 // passive intake partition holder buffers them for computing jobs to pull.
+// Adapter loops run as long-lived tasks on their intake node's persistent
+// scheduler.
 #pragma once
 
 #include <atomic>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "cluster/cluster_controller.h"
 #include "common/status.h"
 #include "feed/feed.h"
 #include "runtime/partition_holder.h"
+#include "runtime/task_scheduler.h"
 
 namespace idea::feed {
 
@@ -28,7 +30,7 @@ class IntakeJob {
   /// Asks adapters to stop (STOP FEED); ingestion drains and EOF follows.
   void StopAdapters();
 
-  /// Blocks until all adapter threads finish (EOF has then been pushed to
+  /// Blocks until all adapter tasks finish (EOF has then been pushed to
   /// every partition holder).
   void Join();
 
@@ -45,7 +47,7 @@ class IntakeJob {
   cluster::Cluster* cluster_;
   std::vector<std::shared_ptr<runtime::IntakePartitionHolder>> holders_;
   std::vector<std::unique_ptr<FeedAdapter>> adapters_;
-  std::vector<std::thread> threads_;
+  runtime::TaskGroup adapter_tasks_;
   std::atomic<uint64_t> records_{0};
   std::atomic<size_t> live_adapters_{0};
   bool joined_ = false;

@@ -63,12 +63,11 @@ Status StaticFeedPipeline::Start(StartArgs args) {
       IDEA_RETURN_NOT_OK(node->plan->Initialize());
     } else if (is_native) {
       IDEA_ASSIGN_OR_RETURN(node->native,
-                            udfs_->CreateNativeInstance(udf, "node-" + std::to_string(i)));
+                            udfs_->CreateNativeInstance(udf, cluster_->node(i).id()));
     }
     nodes_.push_back(std::move(node));
   }
 
-  statuses_.resize(intake_count);
   WallTimer lifetime;
   lifetime.Start();
   start_us_ = 0;
@@ -76,34 +75,38 @@ Status StaticFeedPipeline::Start(StartArgs args) {
   started_ = true;
 
   for (size_t i = 0; i < intake_count; ++i) {
-    threads_.emplace_back([this, i, dataset] {
-      NodeState* node = nodes_[i].get();
-      auto run = [&]() -> Status {
-        std::string raw;
-        size_t since_flush = 0;
-        while (node->adapter->Next(&raw)) {
-          auto rec = node->parser->Parse(raw);
-          if (!rec.ok()) {
-            parse_errors_.fetch_add(1, std::memory_order_relaxed);
-            continue;
+    // The coupled intake+enrich loop runs on its intake node's pool.
+    Status launched =
+        tasks_.Launch(&cluster_->node(i).scheduler(), [this, i, dataset]() -> Status {
+          NodeState* node = nodes_[i].get();
+          std::string raw;
+          size_t since_flush = 0;
+          while (node->adapter->Next(&raw)) {
+            auto rec = node->parser->Parse(raw);
+            if (!rec.ok()) {
+              parse_errors_.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            adm::Value record = std::move(rec).value();
+            if (node->plan != nullptr) {
+              IDEA_ASSIGN_OR_RETURN(record, node->plan->EnrichOne(record));
+            } else if (node->native != nullptr) {
+              IDEA_ASSIGN_OR_RETURN(record, node->native->Evaluate({record}));
+            }
+            IDEA_RETURN_NOT_OK(dataset->Upsert(std::move(record)));
+            stored_.fetch_add(1, std::memory_order_relaxed);
+            if (++since_flush >= config_.batch_size) {
+              IDEA_RETURN_NOT_OK(dataset->FlushWal());
+              since_flush = 0;
+            }
           }
-          adm::Value record = std::move(rec).value();
-          if (node->plan != nullptr) {
-            IDEA_ASSIGN_OR_RETURN(record, node->plan->EnrichOne(record));
-          } else if (node->native != nullptr) {
-            IDEA_ASSIGN_OR_RETURN(record, node->native->Evaluate({record}));
-          }
-          IDEA_RETURN_NOT_OK(dataset->Upsert(std::move(record)));
-          stored_.fetch_add(1, std::memory_order_relaxed);
-          if (++since_flush >= config_.batch_size) {
-            IDEA_RETURN_NOT_OK(dataset->FlushWal());
-            since_flush = 0;
-          }
-        }
-        return dataset->FlushWal();
-      };
-      statuses_[i] = run();
-    });
+          return dataset->FlushWal();
+        });
+    if (!launched.ok()) {
+      StopAdapters();
+      (void)tasks_.Wait();
+      return launched;
+    }
   }
   // Record lifetime from Start; Wait() completes it.
   timer_holder_ = lifetime;
@@ -118,18 +121,14 @@ void StaticFeedPipeline::StopAdapters() {
 
 Result<FeedRuntimeStats> StaticFeedPipeline::Wait() {
   if (!started_) return Status::Internal("static pipeline not started");
+  Status st = tasks_.Wait();
   if (!joined_) {
-    for (auto& t : threads_) {
-      if (t.joinable()) t.join();
-    }
     joined_ = true;
     stats_.records_ingested = stored_.load();
     stats_.parse_errors = parse_errors_.load();
     stats_.wall_micros_total = timer_holder_.ElapsedMicros();
   }
-  for (const auto& st : statuses_) {
-    IDEA_RETURN_NOT_OK(st);
-  }
+  IDEA_RETURN_NOT_OK(st);
   return stats_;
 }
 

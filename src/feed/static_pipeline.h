@@ -9,7 +9,6 @@
 
 #include <atomic>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "cluster/cluster_controller.h"
@@ -18,6 +17,7 @@
 #include "feed/feed.h"
 #include "feed/record_parser.h"
 #include "feed/udf.h"
+#include "runtime/task_scheduler.h"
 #include "sqlpp/enrichment_plan.h"
 #include "storage/catalog.h"
 
@@ -60,8 +60,7 @@ class StaticFeedPipeline {
   UdfRegistry* udfs_;
   FeedConfig config_;
   std::vector<std::unique_ptr<NodeState>> nodes_;
-  std::vector<std::thread> threads_;
-  std::vector<Status> statuses_;
+  runtime::TaskGroup tasks_;
   std::atomic<uint64_t> stored_{0};
   std::atomic<uint64_t> parse_errors_{0};
   double start_us_ = 0;

@@ -28,45 +28,47 @@ Status StorageJob::Start() {
   obs::Counter* frames_stored = scope.Counter("frames");
   obs::Counter* records_metric = scope.Counter("records");
   for (size_t p = 0; p < nodes; ++p) {
-    threads_.emplace_back([this, p, store_us, commit_us, frames_stored,
-                           records_metric] {
-      obs::Tracer& tracer = obs::Tracer::Default();
-      runtime::Frame frame;
-      while (holders_[p]->Pop(&frame)) {
-        auto store = [&]() -> Status {
-          std::vector<adm::Value> records;
-          IDEA_RETURN_NOT_OK(frame.Decode(&records));
-          // Hash partitioner: records are routed to their storage partition
-          // by primary key; partitions share one LSM store in this
-          // simulator, so routing reduces to direct upserts.
-          double t0 = obs::NowMicros();
-          for (auto& rec : records) {
-            IDEA_RETURN_NOT_OK(dataset_->Upsert(std::move(rec)));
-            stored_.fetch_add(1, std::memory_order_relaxed);
+    // The drain loop is a long-lived task collocated with partition p's
+    // holder; errors stick in error_ (feed completion reports them) while
+    // the loop keeps draining so upstream pushes never wedge.
+    Status launched = drain_tasks_.Launch(
+        &cluster_->node(p).scheduler(),
+        [this, p, store_us, commit_us, frames_stored, records_metric]() -> Status {
+          obs::Tracer& tracer = obs::Tracer::Default();
+          runtime::Frame frame;
+          while (holders_[p]->Pop(&frame)) {
+            auto store = [&]() -> Status {
+              std::vector<adm::Value> records;
+              IDEA_RETURN_NOT_OK(frame.Decode(&records));
+              // Hash partitioner: records are routed to their storage partition
+              // by primary key; partitions share one LSM store in this
+              // simulator, so routing reduces to direct upserts.
+              double t0 = obs::NowMicros();
+              for (auto& rec : records) {
+                IDEA_RETURN_NOT_OK(dataset_->Upsert(std::move(rec)));
+                stored_.fetch_add(1, std::memory_order_relaxed);
+              }
+              double t1 = obs::NowMicros();
+              store_us->Record(t1 - t0);
+              tracer.AddSpan(frame.trace_id(), obs::Span{"storage.store",
+                                                         static_cast<int>(p), t0, t1 - t0});
+              records_metric->Add(records.size());
+              frames_stored->Increment();
+              // Group commit: the batch is durable once the log flush returns
+              // (paper §5.2).
+              double t2 = obs::NowMicros();
+              Status flushed = dataset_->FlushWal();
+              commit_us->Record(obs::NowMicros() - t2);
+              tracer.AddSpan(frame.trace_id(),
+                             obs::Span{"storage.flush", static_cast<int>(p), t2,
+                                       obs::NowMicros() - t2});
+              return flushed;
+            };
+            error_.Set(store());
           }
-          double t1 = obs::NowMicros();
-          store_us->Record(t1 - t0);
-          tracer.AddSpan(frame.trace_id(), obs::Span{"storage.store",
-                                                     static_cast<int>(p), t0, t1 - t0});
-          records_metric->Add(records.size());
-          frames_stored->Increment();
-          // Group commit: the batch is durable once the log flush returns
-          // (paper §5.2).
-          double t2 = obs::NowMicros();
-          Status flushed = dataset_->FlushWal();
-          commit_us->Record(obs::NowMicros() - t2);
-          tracer.AddSpan(frame.trace_id(),
-                         obs::Span{"storage.flush", static_cast<int>(p), t2,
-                                   obs::NowMicros() - t2});
-          return flushed;
-        };
-        Status st = store();
-        if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(error_mu_);
-          if (error_.ok()) error_ = st;
-        }
-      }
-    });
+          return Status::OK();
+        });
+    if (!launched.ok()) return launched;
   }
   return Status::OK();
 }
@@ -77,15 +79,8 @@ void StorageJob::Close() {
 
 void StorageJob::Join() {
   if (joined_) return;
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
-  }
+  (void)drain_tasks_.Wait();
   joined_ = true;
-}
-
-Status StorageJob::first_error() const {
-  std::lock_guard<std::mutex> lock(error_mu_);
-  return error_;
 }
 
 }  // namespace idea::feed

@@ -3,17 +3,19 @@
 // receives enriched frames from the collocated computing job, pushes them
 // through the hash partitioner (primary-key hashing onto storage
 // partitions), and writes them to the LSM dataset, group-committing the WAL
-// per frame.
+// per frame. Drain loops run as long-lived tasks on their node's persistent
+// scheduler.
 #pragma once
 
 #include <atomic>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "cluster/cluster_controller.h"
+#include "common/first_error.h"
 #include "common/status.h"
 #include "runtime/partition_holder.h"
+#include "runtime/task_scheduler.h"
 #include "storage/lsm_dataset.h"
 
 namespace idea::feed {
@@ -25,16 +27,16 @@ class StorageJob {
   ~StorageJob();
 
   /// Registers storage partition holders on every node and starts the drain
-  /// threads.
+  /// tasks on the node schedulers.
   Status Start();
 
-  /// Closes the holders; drain threads finish after the backlog empties.
+  /// Closes the holders; drain tasks finish after the backlog empties.
   void Close();
   void Join();
 
   uint64_t records_stored() const { return stored_.load(std::memory_order_relaxed); }
   /// First storage error (storage failures surface at feed completion).
-  Status first_error() const;
+  Status first_error() const { return error_.Get(); }
 
   std::shared_ptr<runtime::StoragePartitionHolder> holder(size_t node) const {
     return holders_[node];
@@ -45,10 +47,9 @@ class StorageJob {
   cluster::Cluster* cluster_;
   std::shared_ptr<storage::LsmDataset> dataset_;
   std::vector<std::shared_ptr<runtime::StoragePartitionHolder>> holders_;
-  std::vector<std::thread> threads_;
+  runtime::TaskGroup drain_tasks_;
   std::atomic<uint64_t> stored_{0};
-  mutable std::mutex error_mu_;
-  Status error_;
+  common::FirstError error_;
   bool joined_ = false;
 };
 

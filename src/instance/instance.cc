@@ -1,5 +1,6 @@
 #include "instance/instance.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/string_util.h"
@@ -101,6 +102,11 @@ Result<adm::Array> Instance::ExecuteStatement(sqlpp::Statement stmt) {
       }
       std::string balanced = ToLowerAscii(get("balanced-intake"));
       decl.config.balanced_intake = balanced == "true" || balanced == "yes";
+      if (!get("pipeline-depth").empty()) {
+        decl.config.pipeline_depth = std::max<size_t>(
+            1, static_cast<size_t>(
+                   std::strtoull(get("pipeline-depth").c_str(), nullptr, 10)));
+      }
       feed_decls_.emplace(cf.name, std::move(decl));
       return adm::Array{};
     }

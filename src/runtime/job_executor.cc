@@ -1,39 +1,30 @@
 #include "runtime/job_executor.h"
 
 #include <atomic>
-#include <mutex>
-#include <thread>
 
-#include "common/string_util.h"
+#include "common/first_error.h"
 #include "common/virtual_clock.h"
 #include "obs/metrics.h"
 
 namespace idea::runtime {
 
-namespace {
+JobExecutor::JobExecutor(OperatorContext base_context, std::vector<NodeBinding> bindings)
+    : base_(std::move(base_context)), bindings_(std::move(bindings)) {}
 
-/// Collects the first error across instances.
-class ErrorSlot {
- public:
-  void Set(const Status& st) {
-    if (st.ok()) return;
-    std::lock_guard<std::mutex> lock(mu_);
-    if (first_.ok()) first_ = st;
+JobExecutor::JobExecutor(size_t partitions, OperatorContext base_context)
+    : base_(std::move(base_context)),
+      owned_scheduler_(std::make_unique<TaskScheduler>("executor")) {
+  bindings_.reserve(partitions);
+  for (size_t p = 0; p < partitions; ++p) {
+    bindings_.push_back(
+        NodeBinding{"node-" + std::to_string(p), owned_scheduler_.get()});
   }
-  Status Get() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return first_;
-  }
+}
 
- private:
-  mutable std::mutex mu_;
-  Status first_;
-};
-
-}  // namespace
+JobExecutor::~JobExecutor() = default;
 
 Result<JobRunStats> JobExecutor::Run(const JobSpecification& spec) {
-  const size_t P = partitions_;
+  const size_t P = bindings_.size();
   const size_t S = spec.stages.size();
   WallTimer timer;
   timer.Start();
@@ -46,7 +37,6 @@ Result<JobRunStats> JobExecutor::Run(const JobSpecification& spec) {
     }
   }
 
-  ErrorSlot error;
   std::atomic<uint64_t> source_records{0};
   // remaining[s]: upstream instances still feeding stage s.
   std::vector<std::unique_ptr<std::atomic<size_t>>> remaining;
@@ -57,15 +47,27 @@ Result<JobRunStats> JobExecutor::Run(const JobSpecification& spec) {
     for (auto& q : queues[s]) q->Close();
   };
 
-  std::vector<std::thread> threads;
+  // Instances are interdependent through the bounded queues, so the group
+  // must never skip one: errors drain cooperatively below (no
+  // cancel-on-error).
+  TaskGroup group;
+  // If a launch is refused (scheduler stopping), instances already running
+  // would block on queues whose peers never started — close everything so
+  // they error out, then join.
+  auto abort_launch = [&](const Status& st) -> Status {
+    for (size_t s = 0; s < S; ++s) close_stage_inputs(s);
+    (void)group.Wait();
+    return st;
+  };
+  Status launched;
 
   // Source instances.
   for (size_t p = 0; p < P; ++p) {
-    threads.emplace_back([&, p] {
+    launched = group.Launch(bindings_[p].scheduler, [&, p]() -> Status {
       OperatorContext ctx = base_;
       ctx.partition = p;
       ctx.num_partitions = P;
-      ctx.node_id = StringPrintf("node-%zu", p);
+      ctx.node_id = bindings_[p].node_id;
       auto run = [&]() -> Status {
         IDEA_ASSIGN_OR_RETURN(std::unique_ptr<SourceOperator> src, spec.make_source(ctx));
         if (S == 0) {
@@ -83,20 +85,21 @@ Result<JobRunStats> JobExecutor::Run(const JobSpecification& spec) {
         return router.Flush();
       };
       Status st = run();
-      error.Set(st);
       if (S > 0 && remaining[0]->fetch_sub(1) == 1) close_stage_inputs(0);
       if (!st.ok() && S > 0) close_stage_inputs(0);  // unblock downstream
+      return st;
     });
+    if (!launched.ok()) return abort_launch(launched);
   }
 
   // Stage instances.
   for (size_t s = 0; s < S; ++s) {
     for (size_t p = 0; p < P; ++p) {
-      threads.emplace_back([&, s, p] {
+      launched = group.Launch(bindings_[p].scheduler, [&, s, p]() -> Status {
         OperatorContext ctx = base_;
         ctx.partition = p;
         ctx.num_partitions = P;
-        ctx.node_id = StringPrintf("node-%zu", p);
+        ctx.node_id = bindings_[p].node_id;
         const bool last = s + 1 == S;
         auto run = [&]() -> Status {
           IDEA_ASSIGN_OR_RETURN(std::unique_ptr<Operator> op,
@@ -127,7 +130,6 @@ Result<JobRunStats> JobExecutor::Run(const JobSpecification& spec) {
           return Status::OK();
         };
         Status st = run();
-        error.Set(st);
         if (!last && remaining[s + 1]->fetch_sub(1) == 1) close_stage_inputs(s + 1);
         if (!st.ok()) {
           // Drain our queue so upstream pushes don't deadlock, and release
@@ -138,13 +140,13 @@ Result<JobRunStats> JobExecutor::Run(const JobSpecification& spec) {
           while (queues[s][p]->TryPop(&junk)) {
           }
         }
+        return st;
       });
+      if (!launched.ok()) return abort_launch(launched);
     }
   }
 
-  for (auto& t : threads) t.join();
-
-  IDEA_RETURN_NOT_OK(error.Get());
+  IDEA_RETURN_NOT_OK(group.Wait());
   // Process-wide job metrics; the static lookup keeps the per-run cost to two
   // relaxed atomic updates.
   static obs::Counter* jobs_run =

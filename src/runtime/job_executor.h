@@ -1,15 +1,28 @@
-// Threaded job executor: instantiates every stage on every partition, wires
-// connectors through bounded frame queues, runs each instance on its own
-// thread, and propagates completion stage by stage.
+// Pooled job executor: instantiates every stage on every partition, wires
+// connectors through bounded frame queues, runs each instance as a task on
+// its partition's persistent worker pool, and propagates completion stage by
+// stage. Errors collapse to the first one (common::FirstError); failed
+// instances drain their queues so siblings never deadlock.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "runtime/job_spec.h"
+#include "runtime/task_scheduler.h"
 
 namespace idea::runtime {
+
+/// Where one partition's stage instances execute: the owning node's identity
+/// (threaded through OperatorContext::node_id for traces/metrics) and its
+/// scheduler. cluster::Cluster::ExecutorBindings() builds these from its
+/// NodeControllers so ids match the cluster's everywhere.
+struct NodeBinding {
+  std::string node_id;
+  TaskScheduler* scheduler = nullptr;
+};
 
 struct JobRunStats {
   double wall_micros = 0;
@@ -20,18 +33,26 @@ struct JobRunStats {
 
 class JobExecutor {
  public:
-  /// `partitions`: instances per stage (one per simulated node).
-  /// `base_context`: template for per-instance contexts (datasets/functions).
-  JobExecutor(size_t partitions, OperatorContext base_context)
-      : partitions_(partitions), base_(std::move(base_context)) {}
+  /// Cluster-backed: instance p of every stage runs on bindings[p].scheduler
+  /// with bindings[p].node_id as its node identity. One binding per
+  /// partition.
+  JobExecutor(OperatorContext base_context, std::vector<NodeBinding> bindings);
+
+  /// Standalone (tests/tools without a cluster): `partitions` instances per
+  /// stage on a private pool, node ids "node-<p>" matching the
+  /// cluster::NodeController convention.
+  JobExecutor(size_t partitions, OperatorContext base_context);
+
+  ~JobExecutor();
 
   /// Runs the job to completion. Returns the first error raised by any
   /// instance (remaining instances are drained).
   Result<JobRunStats> Run(const JobSpecification& spec);
 
  private:
-  size_t partitions_;
   OperatorContext base_;
+  std::vector<NodeBinding> bindings_;
+  std::unique_ptr<TaskScheduler> owned_scheduler_;  // standalone mode only
 };
 
 }  // namespace idea::runtime

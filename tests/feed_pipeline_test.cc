@@ -369,6 +369,79 @@ TEST_F(FeedPipelineTest, FeedCannotStartTwice) {
   ASSERT_TRUE(afm_->WaitForFeed("F").ok());
 }
 
+TEST_F(FeedPipelineTest, TwoConcurrentFeedsShareNodePoolsWithoutCrosstalk) {
+  // Two feeds run at once on the same per-node worker pools; each must drain
+  // fully and report only its own traffic.
+  auto r1 = MakeTweets(300);
+  auto r2 = MakeTweets(500);
+  ActiveFeedManager::StartArgs a1;
+  a1.config.name = "F1";
+  a1.config.type_name = "TweetType";
+  a1.config.batch_size = 40;
+  a1.connection.dataset = "Tweets";
+  a1.adapter_factory = MakeVectorAdapterFactory(r1);
+  ActiveFeedManager::StartArgs a2;
+  a2.config.name = "F2";
+  a2.config.type_name = "TweetType";
+  a2.config.batch_size = 60;
+  a2.connection.dataset = "EnrichedTweets";
+  a2.connection.apply_function = "tweetSafetyCheck";
+  a2.adapter_factory = MakeVectorAdapterFactory(r2);
+  ASSERT_TRUE(afm_->StartFeed(std::move(a1)).ok());
+  ASSERT_TRUE(afm_->StartFeed(std::move(a2)).ok());
+  ASSERT_EQ(afm_->ActiveFeeds().size(), 2u);
+  auto s1 = afm_->WaitForFeedStats("F1");
+  auto s2 = afm_->WaitForFeedStats("F2");
+  ASSERT_TRUE(s1.ok()) << s1.status().ToString();
+  ASSERT_TRUE(s2.ok()) << s2.status().ToString();
+  EXPECT_EQ(s1->records_ingested, 300u);
+  EXPECT_EQ(s2->records_ingested, 500u);
+  EXPECT_EQ(catalog_.FindDataset("Tweets")->LiveRecordCount(), 300u);
+  EXPECT_EQ(catalog_.FindDataset("EnrichedTweets")->LiveRecordCount(), 500u);
+}
+
+class FailingUdf : public NativeUdf {
+ public:
+  Result<Value> Evaluate(const std::vector<Value>&) override {
+    return Status::Internal("injected UDF failure");
+  }
+};
+
+TEST_F(FeedPipelineTest, UdfErrorInOneFeedDoesNotStallAnother) {
+  ASSERT_TRUE(udfs_
+                  .RegisterNative(
+                      "testlib#alwaysFail",
+                      [] { return std::make_unique<FailingUdf>(); },
+                      /*stateful=*/false)
+                  .ok());
+  auto bad = MakeTweets(200);
+  auto good = MakeTweets(400);
+  ActiveFeedManager::StartArgs ab;
+  ab.config.name = "Bad";
+  ab.config.type_name = "TweetType";
+  ab.config.batch_size = 30;
+  ab.connection.dataset = "EnrichedTweets";
+  ab.connection.apply_function = "testlib#alwaysFail";
+  ab.adapter_factory = MakeVectorAdapterFactory(bad);
+  ActiveFeedManager::StartArgs ag;
+  ag.config.name = "Good";
+  ag.config.type_name = "TweetType";
+  ag.config.batch_size = 50;
+  ag.connection.dataset = "Tweets";
+  ag.adapter_factory = MakeVectorAdapterFactory(good);
+  ASSERT_TRUE(afm_->StartFeed(std::move(ab)).ok());
+  ASSERT_TRUE(afm_->StartFeed(std::move(ag)).ok());
+  // The failing feed must terminate with the injected error...
+  auto sb = afm_->WaitForFeedStats("Bad");
+  ASSERT_FALSE(sb.ok());
+  EXPECT_NE(sb.status().ToString().find("injected UDF failure"), std::string::npos);
+  // ...while the healthy feed, sharing every pool, drains completely.
+  auto sg = afm_->WaitForFeedStats("Good");
+  ASSERT_TRUE(sg.ok()) << sg.status().ToString();
+  EXPECT_EQ(sg->records_ingested, 400u);
+  EXPECT_EQ(catalog_.FindDataset("Tweets")->LiveRecordCount(), 400u);
+}
+
 TEST(SocketAdapterTest, ReceivesNewlineDelimitedRecords) {
   auto adapter = SocketAdapter::Listen(0);
   ASSERT_TRUE(adapter.ok()) << adapter.status().ToString();

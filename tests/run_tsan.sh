@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Builds the tree under ThreadSanitizer and runs the concurrency-heavy test
-# binaries (runtime holders/executor, the three-job feed pipeline, and the
-# observability primitives). Usage:
+# binaries (runtime holders/executor, the worker-pool scheduler, the three-job
+# feed pipeline, and the observability primitives). Usage:
 #
 #   tests/run_tsan.sh [build-dir]
 #
@@ -14,10 +14,10 @@ BUILD_DIR="${1:-${REPO_ROOT}/build-tsan}"
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DIDEA_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target runtime_test feed_pipeline_test obs_test
+  --target runtime_test scheduler_test feed_pipeline_test obs_test
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-for t in runtime_test feed_pipeline_test obs_test; do
+for t in runtime_test scheduler_test feed_pipeline_test obs_test; do
   echo "== tsan: ${t} =="
   "${BUILD_DIR}/tests/${t}"
 done
