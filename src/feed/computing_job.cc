@@ -146,7 +146,10 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
         span("compute.parse", t0);
         // UDF evaluator: refresh intermediate state, then enrich. This is
         // the Model-2 refresh point — updates committed before this line are
-        // visible to this invocation.
+        // visible to this invocation. The predeployed artifact keeps the plan
+        // (and its cached hash builds) alive across invocations, so this
+        // Initialize() is a no-op / delta apply in the steady state and only
+        // pays a full rebuild on the first batch or after heavy churn.
         std::vector<adm::Value> enriched;
         double init_start = obs::NowMicros();
         if (artifact->plan != nullptr) {

@@ -66,8 +66,10 @@ Result<SimReport> FeedSimulation::Run(const SimConfig& config,
       std::shared_ptr<const sqlpp::SqlppFunctionDef> def =
           udfs_->FindSqlppShared(config.udf);
       if (def == nullptr) return Status::NotFound("unknown function '" + config.udf + "'");
-      IDEA_ASSIGN_OR_RETURN(plan,
-                            sqlpp::EnrichmentPlan::Compile(def, &accessor, udfs_));
+      sqlpp::PlanConfig plan_config;
+      plan_config.enable_delta_refresh = config.delta_refresh;
+      IDEA_ASSIGN_OR_RETURN(plan, sqlpp::EnrichmentPlan::Compile(def, &accessor, udfs_,
+                                                                 plan_config));
       for (const auto& c : plan->choices()) {
         if (c.kind == sqlpp::AccessPathKind::kIndexNestedLoopEq ||
             c.kind == sqlpp::AccessPathKind::kIndexNestedLoopSpatial) {

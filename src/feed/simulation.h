@@ -42,6 +42,7 @@ struct SimConfig {
   bool balanced_intake = false;
   bool predeployed = true;       // ablation: false pays compile per invocation
   bool fused_insert_job = false; // ablation: single insert job (§5.1, pre-§5.2)
+  bool delta_refresh = true;     // ablation: false = full state rebuild per batch
   std::string udf;               // SQL++ name or native "lib#name"; "" = none
   bool use_native = false;
   cluster::CostModelConfig costs;

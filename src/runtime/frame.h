@@ -19,6 +19,12 @@ class Frame {
   /// Deserializes all records in the frame (appends to `out`).
   Status Decode(std::vector<adm::Value>* out) const;
 
+  /// Pre-sizes the frame for an expected record count / payload size.
+  void Reserve(size_t records, size_t bytes) {
+    offsets_.reserve(records);
+    bytes_.reserve(bytes);
+  }
+
   size_t record_count() const { return offsets_.size(); }
   size_t byte_size() const { return bytes_.size(); }
   bool empty() const { return offsets_.empty(); }

@@ -1,6 +1,8 @@
 #include "sqlpp/enrichment_plan.h"
 
+#include <algorithm>
 #include <deque>
+#include <map>
 #include <unordered_map>
 
 #include "adm/spatial.h"
@@ -26,6 +28,16 @@ const char* AccessPathKindName(AccessPathKind k) {
 }
 
 /// Concrete per-FROM-item access path; doubles as the evaluator hook.
+///
+/// Intermediate state (the Model-2 "snapshot" / hash build) is cached across
+/// Initialize() calls. In versioned mode records live in `by_pk`, a map keyed
+/// by the reference dataset's primary key: map nodes have stable addresses,
+/// so hash entries and emitted candidate pointers survive delta upserts and
+/// deletes of *other* keys, and key-ordered iteration reproduces exactly the
+/// record order of a full LSM scan (both sort by adm::Value's total order) —
+/// which is what keeps delta-refreshed results bit-identical to a rebuild.
+/// Unversioned accessors keep the original shared-snapshot representation
+/// and always rebuild.
 struct EnrichmentPlan::PathImpl : public FromAccessPath {
   AccessPathKind kind = AccessPathKind::kScan;
   const FromClause* from = nullptr;
@@ -37,63 +49,207 @@ struct EnrichmentPlan::PathImpl : public FromAccessPath {
   double mbr_expand = 0;
   DatasetAccessor* datasets = nullptr;
   PlanStats* stats = nullptr;
-  size_t max_hash_build_bytes = 0;
+  const PlanConfig* config = nullptr;
 
-  // Per-initialization state.
-  Snapshot snapshot;
-  std::unordered_map<uint64_t, std::vector<std::pair<Value, const Value*>>> hash;
+  /// One hash-table slot: the build-side key, the owning record, and (in
+  /// versioned mode) its primary key, which orders entries within a bucket so
+  /// delta-applied buckets match the pk-ordered full build.
+  struct HashEntry {
+    Value key;
+    const Value* pk;  // nullptr in unversioned (snapshot) mode
+    const Value* rec;
+  };
+
+  // Cached intermediate state (survives across Initialize() calls).
+  Snapshot snapshot;             // unversioned mode: shared epoch snapshot
+  std::map<Value, Value> by_pk;  // versioned mode: records keyed by primary key
+  std::unordered_map<uint64_t, std::vector<HashEntry>> hash;
   size_t hash_bytes = 0;
+  bool versioned = false;
+  uint64_t base_seq = DatasetAccessor::kUnversioned;  // state current through
+  std::string pk_field;
   std::shared_ptr<IndexProbe> index;
   std::vector<Value> scratch;  // owns index-probe results between calls
 
-  Status Build() {
+  static size_t HashEntryBytes(const Value& key) {
+    return key.EstimateSize() + sizeof(void*) + 16;
+  }
+
+  void InsertHashEntry(const Value& pk, const Value& rec) {
+    const Value& key = rec.GetFieldOrMissing(ref_field);
+    if (key.IsUnknown()) return;
+    std::vector<HashEntry>& bucket = hash[Value::Hash(key)];
+    auto pos = bucket.begin();
+    while (pos != bucket.end() && Value::Compare(*pos->pk, pk) < 0) ++pos;
+    bucket.insert(pos, HashEntry{key, &pk, &rec});
+    hash_bytes += HashEntryBytes(key);
+  }
+
+  void RemoveHashEntry(const Value& pk, const Value& rec) {
+    const Value& key = rec.GetFieldOrMissing(ref_field);
+    if (key.IsUnknown()) return;
+    auto it = hash.find(Value::Hash(key));
+    if (it == hash.end()) return;
+    std::vector<HashEntry>& bucket = it->second;
+    for (auto e = bucket.begin(); e != bucket.end(); ++e) {
+      if (e->pk != nullptr && Value::Compare(*e->pk, pk) == 0) {
+        hash_bytes -= std::min(hash_bytes, HashEntryBytes(e->key));
+        bucket.erase(e);
+        break;
+      }
+    }
+    if (bucket.empty()) hash.erase(it);
+  }
+
+  /// Mirrors the state's current footprint into the per-init PlanStats
+  /// (Initialize() zeroes these, every refresh path re-reports them).
+  void ReportSizes() {
+    if (kind != AccessPathKind::kScan && kind != AccessPathKind::kHashBuildProbe) return;
+    stats->snapshot_records +=
+        versioned ? by_pk.size() : (snapshot != nullptr ? snapshot->size() : 0);
+    if (kind == AccessPathKind::kHashBuildProbe) stats->hash_build_bytes += hash_bytes;
+  }
+
+  Status FullRebuild() {
     hash.clear();
     hash_bytes = 0;
     snapshot.reset();
-    index.reset();
-    switch (kind) {
-      case AccessPathKind::kScan: {
-        IDEA_ASSIGN_OR_RETURN(snapshot, datasets->GetSnapshot(dataset));
-        stats->snapshot_records += snapshot->size();
-        return Status::OK();
+    by_pk.clear();
+    versioned = false;
+    base_seq = DatasetAccessor::kUnversioned;
+    IDEA_ASSIGN_OR_RETURN(DatasetAccessor::VersionedSnapshot vs,
+                          datasets->GetVersionedSnapshot(dataset));
+    pk_field = datasets->PrimaryKeyField(dataset);
+    if (config->enable_delta_refresh && vs.seq != DatasetAccessor::kUnversioned &&
+        !pk_field.empty()) {
+      versioned = true;
+      for (const Value& rec : *vs.snapshot) {
+        const Value* pk = rec.GetField(pk_field);
+        if (pk == nullptr || pk->IsUnknown()) {
+          versioned = false;  // un-keyable record: revert to snapshot mode
+          by_pk.clear();
+          break;
+        }
+        by_pk.emplace(*pk, rec);
       }
-      case AccessPathKind::kHashBuildProbe: {
-        IDEA_ASSIGN_OR_RETURN(snapshot, datasets->GetSnapshot(dataset));
-        stats->snapshot_records += snapshot->size();
+      if (versioned) base_seq = vs.seq;
+    }
+    if (!versioned) snapshot = std::move(vs.snapshot);
+    if (kind == AccessPathKind::kHashBuildProbe) {
+      if (versioned) {
+        // pk-ascending iteration appends in bucket order == full-scan order.
+        for (const auto& [pk, rec] : by_pk) InsertHashEntry(pk, rec);
+      } else {
         for (const Value& rec : *snapshot) {
           const Value& key = rec.GetFieldOrMissing(ref_field);
           if (key.IsUnknown()) continue;
-          hash[Value::Hash(key)].emplace_back(key, &rec);
-          hash_bytes += key.EstimateSize() + sizeof(void*) + 16;
+          hash[Value::Hash(key)].push_back(HashEntry{key, nullptr, &rec});
+          hash_bytes += HashEntryBytes(key);
         }
-        stats->hash_build_bytes += hash_bytes;
-        if (hash_bytes > max_hash_build_bytes) {
-          // Paper §4.3.4 Case 2: the build side exceeds memory. In Model 2
-          // the join input is a finite batch, so the (simulated) spill still
-          // completes; we surface the condition to callers.
-          stats->would_spill = true;
-        }
-        return Status::OK();
       }
-      case AccessPathKind::kIndexNestedLoopEq:
-      case AccessPathKind::kIndexNestedLoopSpatial: {
-        index = datasets->GetIndexProbe(dataset, ref_field);
-        if (index == nullptr) {
-          return Status::Internal("planned index on " + dataset + "." + ref_field +
-                                  " disappeared");
-        }
-        return Status::OK();
+      if (hash_bytes > config->max_hash_build_bytes) {
+        // Paper §4.3.4 Case 2: the build side exceeds memory. In Model 2
+        // the join input is a finite batch, so the (simulated) spill still
+        // completes; we surface the condition to callers.
+        stats->would_spill = true;
       }
     }
-    return Status::Internal("unreachable access-path kind");
+    return Status::OK();
+  }
+
+  /// Replays one committed mutation into the cached state. Upserts replace in
+  /// place (map-node address survives, so live hash entries of other records
+  /// stay valid); hash entries of the touched record are re-keyed.
+  void ApplyChange(DatasetChange change) {
+    const bool is_hash = kind == AccessPathKind::kHashBuildProbe;
+    auto it = by_pk.find(change.key);
+    if (change.tombstone) {
+      if (it == by_pk.end()) return;  // delete already reflected in the base
+      if (is_hash) RemoveHashEntry(it->first, it->second);
+      by_pk.erase(it);
+      return;
+    }
+    if (it != by_pk.end()) {
+      if (is_hash) RemoveHashEntry(it->first, it->second);
+      it->second = std::move(change.record);
+      if (is_hash) InsertHashEntry(it->first, it->second);
+    } else {
+      auto [nit, inserted] = by_pk.emplace(std::move(change.key), std::move(change.record));
+      (void)inserted;
+      if (is_hash) InsertHashEntry(nit->first, nit->second);
+    }
+  }
+
+  /// The three-way refresh (paper update-sensitivity preserved in all cases):
+  /// no-op when the reference sequence is unchanged, delta apply when the
+  /// changelog covers the gap and the delta is small, full rebuild otherwise.
+  Result<RefreshKind> Refresh() {
+    if (kind == AccessPathKind::kIndexNestedLoopEq ||
+        kind == AccessPathKind::kIndexNestedLoopSpatial) {
+      // Index nested loops probe the live index; there is no cached state to
+      // refresh, only the (O(1)) re-resolution of the probe handle.
+      index = datasets->GetIndexProbe(dataset, ref_field);
+      if (index == nullptr) {
+        return Status::Internal("planned index on " + dataset + "." + ref_field +
+                                " disappeared");
+      }
+      return RefreshKind::kNoop;
+    }
+    if (config->enable_delta_refresh && versioned) {
+      uint64_t cur = datasets->CurrentSeq(dataset);
+      if (cur == base_seq) {
+        ReportSizes();
+        return RefreshKind::kNoop;
+      }
+      if (cur != DatasetAccessor::kUnversioned && cur > base_seq) {
+        std::vector<DatasetChange> changes;
+        Status st = datasets->ScanDelta(dataset, base_seq, cur, &changes);
+        size_t fit = std::max<size_t>(
+            64, static_cast<size_t>(static_cast<double>(by_pk.size()) *
+                                    config->max_delta_fraction));
+        if (st.ok() && changes.size() <= fit) {
+          for (DatasetChange& c : changes) ApplyChange(std::move(c));
+          base_seq = cur;
+          stats->delta_records_applied += changes.size();
+          if (kind == AccessPathKind::kHashBuildProbe &&
+              hash_bytes > config->max_hash_build_bytes) {
+            stats->would_spill = true;
+          }
+          ReportSizes();
+          return RefreshKind::kDelta;
+        }
+        // Wrapped changelog ring or oversized delta: fall through to rebuild.
+      }
+      // cur < base_seq means the dataset was dropped and re-created: rebuild.
+    }
+    IDEA_RETURN_NOT_OK(FullRebuild());
+    ReportSizes();
+    return RefreshKind::kFull;
+  }
+
+  /// One index probe = three accounting sinks (plan stats, evaluator stats,
+  /// the idea.eval.<udf>.index_probes counter); bump them together so no
+  /// access path can miss one.
+  void CountIndexProbe(Evaluator* ev) {
+    ++stats->index_probes;
+    ++ev->stats().index_probes;
+    if (ev->context().metrics.index_probes != nullptr) {
+      ev->context().metrics.index_probes->Increment();
+    }
   }
 
   Status GetCandidates(Evaluator* ev, Env* env,
                        std::vector<const Value*>* out) override {
     switch (kind) {
       case AccessPathKind::kScan: {
-        out->reserve(snapshot->size());
-        for (const Value& rec : *snapshot) out->push_back(&rec);
+        if (versioned) {
+          // pk-ordered iteration == full-scan record order (bit-identical).
+          out->reserve(out->size() + by_pk.size());
+          for (const auto& [pk, rec] : by_pk) out->push_back(&rec);
+        } else {
+          out->reserve(out->size() + snapshot->size());
+          for (const Value& rec : *snapshot) out->push_back(&rec);
+        }
         return Status::OK();
       }
       case AccessPathKind::kHashBuildProbe: {
@@ -101,8 +257,8 @@ struct EnrichmentPlan::PathImpl : public FromAccessPath {
         if (key.IsUnknown()) return Status::OK();
         auto it = hash.find(Value::Hash(key));
         if (it == hash.end()) return Status::OK();
-        for (const auto& [k, rec] : it->second) {
-          if (Value::Compare(k, key) == 0) out->push_back(rec);
+        for (const HashEntry& e : it->second) {
+          if (Value::Compare(e.key, key) == 0) out->push_back(e.rec);
         }
         return Status::OK();
       }
@@ -111,11 +267,7 @@ struct EnrichmentPlan::PathImpl : public FromAccessPath {
         if (key.IsUnknown()) return Status::OK();
         scratch.clear();
         IDEA_RETURN_NOT_OK(index->ProbeEquals(key, &scratch));
-        ++stats->index_probes;
-        ++ev->stats().index_probes;
-        if (ev->context().metrics.index_probes != nullptr) {
-          ev->context().metrics.index_probes->Increment();
-        }
+        CountIndexProbe(ev);
         for (const Value& rec : scratch) out->push_back(&rec);
         return Status::OK();
       }
@@ -131,11 +283,7 @@ struct EnrichmentPlan::PathImpl : public FromAccessPath {
         }
         scratch.clear();
         IDEA_RETURN_NOT_OK(index->ProbeMbr(mbr, &scratch));
-        ++stats->index_probes;
-        ++ev->stats().index_probes;
-        if (ev->context().metrics.index_probes != nullptr) {
-          ev->context().metrics.index_probes->Increment();
-        }
+        CountIndexProbe(ev);
         for (const Value& rec : scratch) out->push_back(&rec);
         return Status::OK();
       }
@@ -409,7 +557,7 @@ Result<std::unique_ptr<EnrichmentPlan>> EnrichmentPlan::Compile(
     path->mbr_expand = p.expand;
     path->datasets = datasets;
     path->stats = &plan->stats_;
-    path->max_hash_build_bytes = config.max_hash_build_bytes;
+    path->config = &plan->config_;  // plan-owned copy; outlives the path
     plan->path_map_[p.from] = path.get();
     plan->choices_.push_back(AccessPathChoice{
         p.kind, p.from->dataset, p.field, p.probe != nullptr ? p.probe->ToString() : ""});
@@ -430,6 +578,17 @@ Result<std::unique_ptr<EnrichmentPlan>> EnrichmentPlan::Compile(
   ctx.metrics.udf_eval_us = scope.Histogram("udf_eval_us");
   plan->init_us_ = scope.Histogram("init_us");
   plan->records_metric_ = scope.Counter("records_enriched");
+  // idea.plan.<udf>.* refresh-path observability: how often Initialize() hit
+  // each refresh route and what each one cost.
+  obs::Scope plan_scope(&obs::MetricsRegistry::Default(),
+                        "idea.plan." + plan->def_->name);
+  plan->noop_refreshes_metric_ = plan_scope.Counter("noop_refreshes");
+  plan->delta_refreshes_metric_ = plan_scope.Counter("delta_refreshes");
+  plan->full_rebuilds_metric_ = plan_scope.Counter("full_rebuilds");
+  plan->delta_records_metric_ = plan_scope.Counter("delta_records_applied");
+  plan->refresh_noop_us_ = plan_scope.Histogram("refresh_noop_us");
+  plan->refresh_delta_us_ = plan_scope.Histogram("refresh_delta_us");
+  plan->refresh_full_us_ = plan_scope.Histogram("refresh_full_us");
   plan->evaluator_ = std::make_unique<Evaluator>(ctx);
   return plan;
 }
@@ -441,13 +600,45 @@ Status EnrichmentPlan::Initialize() {
   timer.Start();
   stats_.hash_build_bytes = 0;
   stats_.snapshot_records = 0;
+  const uint64_t delta_before = stats_.delta_records_applied;
+  bool any_full = false;
+  bool any_delta = false;
   for (auto& path : paths_) {
-    IDEA_RETURN_NOT_OK(path->Build());
+    IDEA_ASSIGN_OR_RETURN(RefreshKind kind, path->Refresh());
+    any_full |= kind == RefreshKind::kFull;
+    any_delta |= kind == RefreshKind::kDelta;
   }
   stats_.last_init_micros = timer.ElapsedMicros();
   stats_.total_init_micros += stats_.last_init_micros;
   ++stats_.initializations;
   if (init_us_ != nullptr) init_us_->Record(stats_.last_init_micros);
+  // The invocation's overall cost class is its most expensive path refresh.
+  stats_.last_refresh = any_full    ? RefreshKind::kFull
+                        : any_delta ? RefreshKind::kDelta
+                                    : RefreshKind::kNoop;
+  switch (stats_.last_refresh) {
+    case RefreshKind::kNoop:
+      ++stats_.noop_refreshes;
+      if (noop_refreshes_metric_ != nullptr) noop_refreshes_metric_->Increment();
+      if (refresh_noop_us_ != nullptr) refresh_noop_us_->Record(stats_.last_init_micros);
+      break;
+    case RefreshKind::kDelta:
+      ++stats_.delta_refreshes;
+      if (delta_refreshes_metric_ != nullptr) delta_refreshes_metric_->Increment();
+      if (refresh_delta_us_ != nullptr) {
+        refresh_delta_us_->Record(stats_.last_init_micros);
+      }
+      break;
+    case RefreshKind::kFull:
+      ++stats_.full_rebuilds;
+      if (full_rebuilds_metric_ != nullptr) full_rebuilds_metric_->Increment();
+      if (refresh_full_us_ != nullptr) refresh_full_us_->Record(stats_.last_init_micros);
+      break;
+  }
+  if (delta_records_metric_ != nullptr &&
+      stats_.delta_records_applied > delta_before) {
+    delta_records_metric_->Add(stats_.delta_records_applied - delta_before);
+  }
   initialized_ = true;
   return Status::OK();
 }

@@ -13,10 +13,19 @@
 //   * snapshot scan        (naive nested loop; also the /*+ skip-index */
 //                           hinted plan used for "Naive Nearby Monuments").
 //
-// Initialize() (re)builds all per-job state; the dynamic ingestion framework
+// Initialize() refreshes all per-job state; the dynamic ingestion framework
 // calls it once per computing-job invocation, while the legacy static
 // pipeline calls it exactly once — reproducing the staleness difference the
 // paper measures.
+//
+// Refresh is incremental: hash builds and snapshots are cached across
+// invocations keyed by the reference dataset's mutation sequence
+// (DatasetAccessor::CurrentSeq). Per access path, a refresh takes one of
+// three routes — a no-op when the sequence is unchanged, a delta apply
+// (upsert/delete into the cached state via ScanDelta) when the changelog
+// covers the gap and the delta is small, or the full O(|ref|) rebuild
+// otherwise (unversioned accessor, wrapped changelog ring, oversized delta).
+// All three produce bit-identical state; only the refresh cost differs.
 #pragma once
 
 #include <memory>
@@ -38,11 +47,26 @@ struct PlanConfig {
   size_t max_hash_build_bytes = 64ull << 20;
   /// Allow the planner to pick index nested-loop joins when an index exists.
   bool prefer_index = true;
+  /// Cache intermediate state across Initialize() calls and refresh it from
+  /// the reference dataset's mutation delta when possible. Off = every
+  /// Initialize() is a full rebuild (the pre-incremental behaviour).
+  bool enable_delta_refresh = true;
+  /// A delta larger than this fraction of the cached state (with a small
+  /// absolute floor) is applied as a full rebuild instead — at that size the
+  /// rebuild is no slower and resets accumulated map churn.
+  double max_delta_fraction = 0.5;
+};
+
+/// How one Initialize() call refreshed the plan's intermediate state.
+enum class RefreshKind : uint8_t {
+  kNoop,   // reference sequence unchanged; cached state reused as-is
+  kDelta,  // mutation delta applied into the cached state
+  kFull,   // full rebuild (first init, unversioned, wrapped ring, big delta)
 };
 
 /// Counters describing one plan instance's lifetime.
 struct PlanStats {
-  uint64_t initializations = 0;     // intermediate-state (re)builds
+  uint64_t initializations = 0;     // intermediate-state refreshes
   double last_init_micros = 0;      // cost of the latest Initialize()
   double total_init_micros = 0;
   size_t hash_build_bytes = 0;      // bytes in hash tables after last init
@@ -50,6 +74,12 @@ struct PlanStats {
   bool would_spill = false;         // any build exceeded the memory budget
   uint64_t records_enriched = 0;
   uint64_t index_probes = 0;
+  // Refresh-path split (one of the first three increments per Initialize).
+  uint64_t noop_refreshes = 0;
+  uint64_t delta_refreshes = 0;
+  uint64_t full_rebuilds = 0;
+  uint64_t delta_records_applied = 0;
+  RefreshKind last_refresh = RefreshKind::kFull;
 };
 
 /// Kind of access path chosen for a FROM item.
@@ -81,8 +111,11 @@ class EnrichmentPlan {
 
   ~EnrichmentPlan();
 
-  /// (Re)builds all intermediate state: refreshes snapshots and hash tables.
-  /// Call once per computing-job invocation.
+  /// Refreshes all intermediate state (snapshots and hash tables) to the
+  /// reference datasets' current version. Call once per computing-job
+  /// invocation. Steady-state cost is O(1) when nothing changed and
+  /// O(|delta|) under updates; only first builds and fall-backs pay the full
+  /// O(|ref|) rebuild (see PlanStats' refresh-path split).
   Status Initialize();
 
   /// Enriches one record: invokes the UDF with `record` and unwraps the
@@ -122,6 +155,14 @@ class EnrichmentPlan {
   // idea.eval.<udf>.* registry mirrors (shared across forks of the plan).
   obs::Histogram* init_us_ = nullptr;
   obs::Counter* records_metric_ = nullptr;
+  // idea.plan.<udf>.* refresh-path observability (shared across forks).
+  obs::Counter* noop_refreshes_metric_ = nullptr;
+  obs::Counter* delta_refreshes_metric_ = nullptr;
+  obs::Counter* full_rebuilds_metric_ = nullptr;
+  obs::Counter* delta_records_metric_ = nullptr;
+  obs::Histogram* refresh_noop_us_ = nullptr;
+  obs::Histogram* refresh_delta_us_ = nullptr;
+  obs::Histogram* refresh_full_us_ = nullptr;
   bool initialized_ = false;
 };
 

@@ -47,15 +47,65 @@ class IndexProbe {
   }
 };
 
+/// One committed dataset mutation, as replayed into cached enrichment state
+/// (inserts and updates are both upserts; consumers replace by primary key).
+struct DatasetChange {
+  bool tombstone = false;  // delete
+  adm::Value key;          // primary key
+  adm::Value record;       // full stored record; missing for deletes
+};
+
 /// Resolves dataset names to snapshots and (optionally) live index probes.
 /// Implementations decide snapshot caching policy: the enrichment pipeline
 /// refreshes snapshots once per computing job, which is exactly the paper's
 /// batch-consistency model.
+///
+/// Accessors backed by a versioned store additionally expose a monotonic
+/// per-dataset mutation sequence plus a bounded change feed, which lets
+/// EnrichmentPlan keep its hash builds / snapshots across computing-job
+/// invocations and refresh them from the delta instead of rebuilding. The
+/// defaults report "unversioned", which disables delta refresh (every
+/// Initialize() falls back to a full rebuild — the pre-incremental behaviour).
 class DatasetAccessor {
  public:
+  /// Sentinel sequence meaning "this accessor cannot version the dataset".
+  static constexpr uint64_t kUnversioned = ~0ull;
+
+  struct VersionedSnapshot {
+    Snapshot snapshot;
+    uint64_t seq = kUnversioned;  // sequence the snapshot is current through
+  };
+
   virtual ~DatasetAccessor() = default;
   virtual bool HasDataset(const std::string& dataset) const = 0;
   virtual Result<Snapshot> GetSnapshot(const std::string& dataset) = 0;
+  /// Snapshot plus the mutation sequence it is current through (kUnversioned
+  /// when the accessor cannot version the dataset).
+  virtual Result<VersionedSnapshot> GetVersionedSnapshot(const std::string& dataset) {
+    IDEA_ASSIGN_OR_RETURN(Snapshot snap, GetSnapshot(dataset));
+    return VersionedSnapshot{std::move(snap), kUnversioned};
+  }
+  /// Current mutation sequence of the dataset; kUnversioned when unsupported.
+  /// Epoch-caching accessors pin the first read per epoch so every access
+  /// path of a computing-job invocation refreshes to the same version.
+  virtual uint64_t CurrentSeq(const std::string& dataset) {
+    (void)dataset;
+    return kUnversioned;
+  }
+  /// Appends the committed changes with sequence in (from_seq, to_seq],
+  /// oldest first. Fails with ResourceExhausted when the underlying changelog no
+  /// longer covers from_seq — callers must then rebuild from a full snapshot.
+  virtual Status ScanDelta(const std::string& dataset, uint64_t from_seq,
+                           uint64_t to_seq, std::vector<DatasetChange>* out) {
+    (void)dataset, (void)from_seq, (void)to_seq, (void)out;
+    return Status::NotSupported("dataset deltas");
+  }
+  /// Primary-key field of the dataset ("" when unknown; delta refresh needs
+  /// it to key cached records).
+  virtual std::string PrimaryKeyField(const std::string& dataset) const {
+    (void)dataset;
+    return "";
+  }
   /// Live (non-snapshot) index probe; nullptr when no index exists on the
   /// field. Probing a live index observes concurrent updates mid-evaluation —
   /// the behaviour the paper measures for index nested-loop enrichment.

@@ -93,19 +93,65 @@ bool CatalogAccessor::HasDataset(const std::string& dataset) const {
 }
 
 Result<sqlpp::Snapshot> CatalogAccessor::GetSnapshot(const std::string& dataset) {
+  IDEA_ASSIGN_OR_RETURN(VersionedSnapshot vs, GetVersionedSnapshot(dataset));
+  return std::move(vs.snapshot);
+}
+
+Result<sqlpp::DatasetAccessor::VersionedSnapshot> CatalogAccessor::GetVersionedSnapshot(
+    const std::string& dataset) {
   if (cache_) {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = snapshots_.find(dataset);
-    if (it != snapshots_.end()) return it->second;
+    if (it != snapshots_.end()) {
+      return VersionedSnapshot{it->second.first, it->second.second};
+    }
   }
   std::shared_ptr<LsmDataset> ds = catalog_->FindDataset(dataset);
   if (ds == nullptr) return Status::NotFound("unknown dataset '" + dataset + "'");
-  sqlpp::Snapshot snap = ds->Scan();
+  uint64_t seq = 0;
+  sqlpp::Snapshot snap = ds->Scan(&seq);
   if (cache_) {
     std::lock_guard<std::mutex> lock(mu_);
-    snapshots_[dataset] = snap;
+    snapshots_[dataset] = {snap, seq};
+    pinned_seqs_[dataset] = seq;
   }
-  return snap;
+  return VersionedSnapshot{std::move(snap), seq};
+}
+
+uint64_t CatalogAccessor::CurrentSeq(const std::string& dataset) {
+  if (cache_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pinned_seqs_.find(dataset);
+    if (it != pinned_seqs_.end()) return it->second;
+  }
+  std::shared_ptr<LsmDataset> ds = catalog_->FindDataset(dataset);
+  if (ds == nullptr) return kUnversioned;
+  uint64_t seq = ds->CurrentSeq();
+  if (cache_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pinned_seqs_.emplace(dataset, seq);
+  }
+  return seq;
+}
+
+Status CatalogAccessor::ScanDelta(const std::string& dataset, uint64_t from_seq,
+                                  uint64_t to_seq,
+                                  std::vector<sqlpp::DatasetChange>* out) {
+  std::shared_ptr<LsmDataset> ds = catalog_->FindDataset(dataset);
+  if (ds == nullptr) return Status::NotFound("unknown dataset '" + dataset + "'");
+  std::vector<DatasetChange> changes;
+  IDEA_RETURN_NOT_OK(ds->ScanDelta(from_seq, to_seq, &changes));
+  out->reserve(out->size() + changes.size());
+  for (DatasetChange& c : changes) {
+    out->push_back(
+        sqlpp::DatasetChange{c.tombstone, std::move(c.key), std::move(c.record)});
+  }
+  return Status::OK();
+}
+
+std::string CatalogAccessor::PrimaryKeyField(const std::string& dataset) const {
+  std::shared_ptr<LsmDataset> ds = catalog_->FindDataset(dataset);
+  return ds == nullptr ? "" : ds->primary_key();
 }
 
 std::shared_ptr<sqlpp::IndexProbe> CatalogAccessor::GetIndexProbe(
@@ -123,6 +169,7 @@ std::shared_ptr<sqlpp::IndexProbe> CatalogAccessor::GetIndexProbe(
 void CatalogAccessor::BeginEpoch() {
   std::lock_guard<std::mutex> lock(mu_);
   snapshots_.clear();
+  pinned_seqs_.clear();
 }
 
 }  // namespace idea::storage

@@ -46,6 +46,12 @@ class Catalog {
 /// dataset per epoch; BeginEpoch() invalidates. The enrichment pipeline runs
 /// one epoch per computing job — the paper's batch-consistency model. Index
 /// probes are always live.
+///
+/// Versioning: CurrentSeq/ScanDelta expose the LSM datasets' mutation
+/// sequence and changelog ring. With caching enabled the first sequence read
+/// per dataset per epoch is pinned, so every access path refreshing in the
+/// same computing-job invocation converges on one version — the delta-refresh
+/// analogue of the shared epoch snapshot.
 class CatalogAccessor : public sqlpp::DatasetAccessor {
  public:
   explicit CatalogAccessor(Catalog* catalog, bool cache_snapshots = false)
@@ -53,17 +59,23 @@ class CatalogAccessor : public sqlpp::DatasetAccessor {
 
   bool HasDataset(const std::string& dataset) const override;
   Result<sqlpp::Snapshot> GetSnapshot(const std::string& dataset) override;
+  Result<VersionedSnapshot> GetVersionedSnapshot(const std::string& dataset) override;
+  uint64_t CurrentSeq(const std::string& dataset) override;
+  Status ScanDelta(const std::string& dataset, uint64_t from_seq, uint64_t to_seq,
+                   std::vector<sqlpp::DatasetChange>* out) override;
+  std::string PrimaryKeyField(const std::string& dataset) const override;
   std::shared_ptr<sqlpp::IndexProbe> GetIndexProbe(const std::string& dataset,
                                                    const std::string& field) override;
 
-  /// Starts a new snapshot epoch (drops cached snapshots).
+  /// Starts a new snapshot epoch (drops cached snapshots and pinned seqs).
   void BeginEpoch();
 
  private:
   Catalog* catalog_;
   bool cache_;
   std::mutex mu_;
-  std::map<std::string, sqlpp::Snapshot> snapshots_;
+  std::map<std::string, std::pair<sqlpp::Snapshot, uint64_t>> snapshots_;
+  std::map<std::string, uint64_t> pinned_seqs_;  // per-epoch version pins
 };
 
 }  // namespace idea::storage

@@ -17,6 +17,7 @@ LsmDataset::LsmDataset(std::string name, adm::Datatype datatype, std::string pri
   metrics_.writes = scope.Counter("writes");
   metrics_.flushes = scope.Counter("flushes");
   metrics_.compactions = scope.Counter("compactions");
+  metrics_.changelog_evictions = scope.Counter("changelog_evictions");
   metrics_.flush_us = scope.Histogram("flush_us");
   metrics_.compact_us = scope.Histogram("compact_us");
 }
@@ -90,6 +91,19 @@ Status LsmDataset::WriteLocked(WalRecordType type, Value record) {
   RecordEntry entry;
   entry.seqno = next_seqno_++;
   entry.tombstone = type == WalRecordType::kDelete;
+  if (options_.changelog_capacity > 0) {
+    DatasetChange change;
+    change.seqno = entry.seqno;
+    change.tombstone = entry.tombstone;
+    change.key = key;
+    if (!entry.tombstone) change.record = record;
+    changelog_.push_back(std::move(change));
+    if (changelog_.size() > options_.changelog_capacity) {
+      changelog_evicted_through_ = changelog_.front().seqno;
+      changelog_.pop_front();
+      metrics_.changelog_evictions->Increment();
+    }
+  }
   if (!entry.tombstone) {
     IndexInsertLocked(record);
     entry.record = std::move(record);
@@ -132,9 +146,10 @@ Result<Value> LsmDataset::Get(const Value& key) const {
   return e->record;
 }
 
-std::shared_ptr<const std::vector<Value>> LsmDataset::Scan() const {
+std::shared_ptr<const std::vector<Value>> LsmDataset::Scan(uint64_t* seq_out) const {
   std::shared_lock lock(mu_);
   ++stats_.scans;
+  if (seq_out != nullptr) *seq_out = next_seqno_ - 1;
   // Merge oldest -> newest so later versions overwrite.
   std::map<Value, const RecordEntry*> merged;
   for (const auto& comp : components_) {
@@ -150,6 +165,34 @@ std::shared_ptr<const std::vector<Value>> LsmDataset::Scan() const {
 }
 
 size_t LsmDataset::LiveRecordCount() const { return Scan()->size(); }
+
+uint64_t LsmDataset::CurrentSeq() const {
+  std::shared_lock lock(mu_);
+  return next_seqno_ - 1;
+}
+
+Status LsmDataset::ScanDelta(uint64_t from_seq, uint64_t to_seq,
+                             std::vector<DatasetChange>* out) const {
+  std::shared_lock lock(mu_);
+  ++stats_.delta_scans;
+  if (from_seq > to_seq || to_seq >= next_seqno_) {
+    return Status::InvalidArgument("ScanDelta range (" + std::to_string(from_seq) +
+                                   ", " + std::to_string(to_seq) +
+                                   "] out of bounds for dataset '" + name_ + "'");
+  }
+  if (from_seq < changelog_evicted_through_) {
+    ++stats_.delta_wraps;
+    return Status::ResourceExhausted("changelog of dataset '" + name_ + "' wrapped past seq " +
+                              std::to_string(from_seq) + " (retained from " +
+                              std::to_string(changelog_evicted_through_ + 1) + ")");
+  }
+  for (const DatasetChange& c : changelog_) {
+    if (c.seqno <= from_seq) continue;
+    if (c.seqno > to_seq) break;
+    out->push_back(c);
+  }
+  return Status::OK();
+}
 
 Status LsmDataset::CreateIndex(const std::string& index_name, const std::string& field,
                                const std::string& kind) {
@@ -279,6 +322,8 @@ DatasetStats LsmDataset::stats() const {
   out.flushes = stats_.flushes.load();
   out.compactions = stats_.compactions.load();
   out.index_probes = stats_.index_probes.load();
+  out.delta_scans = stats_.delta_scans.load();
+  out.delta_wraps = stats_.delta_wraps.load();
   return out;
 }
 

@@ -5,11 +5,18 @@
 // describes it (§7.3): updates activate the in-memory component and change
 // the read path of every concurrent enrichment job.
 //
+// Every write is stamped with a monotonic mutation sequence number (shared
+// with the memtable entries and the WAL) and mirrored into a bounded
+// changelog ring, so derived state (the enrichment plans' hash builds and
+// snapshots) can refresh incrementally via CurrentSeq()/ScanDelta() instead
+// of re-scanning the whole dataset per computing-job invocation.
+//
 // Thread safety: all public methods are safe for concurrent use
 // (shared_mutex; writers exclusive, readers shared).
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -35,6 +42,20 @@ struct DatasetOptions {
   size_t compaction_threshold = 8;
   /// Attach an in-memory WAL (durability cost accounting).
   bool enable_wal = true;
+  /// Entries retained in the in-memory changelog ring behind ScanDelta().
+  /// Once more than this many writes land since a reader's base sequence,
+  /// the ring has wrapped and the reader must fall back to a full rebuild.
+  /// 0 disables the changelog entirely.
+  size_t changelog_capacity = 8192;
+};
+
+/// One committed mutation, as replayed to delta consumers (ScanDelta).
+/// Inserts and upserts are both "upsert" here: consumers replace by key.
+struct DatasetChange {
+  uint64_t seqno = 0;
+  bool tombstone = false;  // delete
+  adm::Value key;          // primary key
+  adm::Value record;       // post-coercion stored record; missing for deletes
 };
 
 struct DatasetStats {
@@ -46,6 +67,8 @@ struct DatasetStats {
   uint64_t flushes = 0;
   uint64_t compactions = 0;
   uint64_t index_probes = 0;
+  uint64_t delta_scans = 0;
+  uint64_t delta_wraps = 0;  // ScanDelta calls lost to a wrapped changelog
 };
 
 class LsmDataset {
@@ -70,10 +93,24 @@ class LsmDataset {
   /// Point lookup by primary key.
   Result<adm::Value> Get(const adm::Value& key) const;
 
-  /// Consistent snapshot of all live records (key order).
-  std::shared_ptr<const std::vector<adm::Value>> Scan() const;
+  /// Consistent snapshot of all live records (key order). When `seq_out` is
+  /// non-null it receives the mutation sequence the snapshot is current
+  /// through, read atomically with the scan.
+  std::shared_ptr<const std::vector<adm::Value>> Scan(uint64_t* seq_out = nullptr) const;
 
   size_t LiveRecordCount() const;
+
+  /// Monotonic mutation sequence number: the seqno of the latest committed
+  /// insert/upsert/delete (0 before the first write). Every write advances it
+  /// by exactly one, so seq deltas count mutations.
+  uint64_t CurrentSeq() const;
+
+  /// Appends all committed changes with seqno in (from_seq, to_seq] to `out`,
+  /// oldest first. Fails with ResourceExhausted when the bounded changelog ring no
+  /// longer reaches back to `from_seq` (the ring wrapped) — callers must then
+  /// rebuild their derived state from a full Scan().
+  Status ScanDelta(uint64_t from_seq, uint64_t to_seq,
+                   std::vector<DatasetChange>* out) const;
 
   /// Creates a secondary index over `field` ("btree" or "rtree") and builds
   /// it from existing records.
@@ -126,9 +163,15 @@ class LsmDataset {
   std::unique_ptr<Wal> wal_;
   uint64_t next_seqno_ = 1;
   uint64_t next_component_id_ = 1;
+  // Bounded changelog ring behind ScanDelta (newest at the back).
+  // `changelog_evicted_through_` is the highest seqno dropped off the front;
+  // a delta from any base >= that mark is still fully covered by the ring.
+  std::deque<DatasetChange> changelog_;
+  uint64_t changelog_evicted_through_ = 0;
   struct AtomicStats {
     std::atomic<uint64_t> inserts{0}, upserts{0}, deletes{0}, point_lookups{0},
-        scans{0}, flushes{0}, compactions{0}, index_probes{0};
+        scans{0}, flushes{0}, compactions{0}, index_probes{0}, delta_scans{0},
+        delta_wraps{0};
   };
   mutable AtomicStats stats_;
 
@@ -137,6 +180,7 @@ class LsmDataset {
     obs::Counter* writes = nullptr;  // inserts + upserts + deletes
     obs::Counter* flushes = nullptr;
     obs::Counter* compactions = nullptr;
+    obs::Counter* changelog_evictions = nullptr;
     obs::Histogram* flush_us = nullptr;
     obs::Histogram* compact_us = nullptr;
   };

@@ -14,10 +14,12 @@ BUILD_DIR="${1:-${REPO_ROOT}/build-tsan}"
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DIDEA_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target runtime_test scheduler_test feed_pipeline_test obs_test
+  --target runtime_test scheduler_test feed_pipeline_test obs_test \
+           sqlpp_delta_refresh_test
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-for t in runtime_test scheduler_test feed_pipeline_test obs_test; do
+for t in runtime_test scheduler_test feed_pipeline_test obs_test \
+         sqlpp_delta_refresh_test; do
   echo "== tsan: ${t} =="
   "${BUILD_DIR}/tests/${t}"
 done
