@@ -1,0 +1,364 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace idea::common {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic uniform [0, 1) from a seed + payload pair.
+double HashToUnit(uint64_t seed, std::string_view payload) {
+  uint64_t m = SplitMix64(seed ^ StableHash64(payload));
+  return static_cast<double>(m >> 11) * 0x1.0p-53;
+}
+
+Result<StatusCode> CodeFromName(const std::string& name) {
+  std::string n = ToLowerAscii(name);
+  if (n == "internal" || n == "io") return StatusCode::kInternal;
+  if (n == "parse_error") return StatusCode::kParseError;
+  if (n == "type_mismatch") return StatusCode::kTypeMismatch;
+  if (n == "corruption") return StatusCode::kCorruption;
+  if (n == "aborted") return StatusCode::kAborted;
+  if (n == "timed_out") return StatusCode::kTimedOut;
+  if (n == "not_found") return StatusCode::kNotFound;
+  if (n == "resource_exhausted") return StatusCode::kResourceExhausted;
+  if (n == "invalid_argument") return StatusCode::kInvalidArgument;
+  if (n == "ok") return StatusCode::kOk;
+  return Status::InvalidArgument("unknown fault status code '" + name + "'");
+}
+
+// --- per-thread fault-point state -------------------------------------------
+
+using fault_internal::kFastTlsSlots;
+using fault_internal::kOrdinalBlock;
+using fault_internal::t_fast_blocks;
+using fault_internal::TlsOrdinalBlock;
+
+/// Spillover block table for points registered past the flat TLS array.
+thread_local std::vector<TlsOrdinalBlock> t_overflow_blocks;
+
+TlsOrdinalBlock& OrdinalBlockForSlot(uint32_t slot) {
+  if (slot < kFastTlsSlots) return t_fast_blocks[slot];
+  const uint32_t i = slot - kFastTlsSlots;
+  if (t_overflow_blocks.size() <= i) t_overflow_blocks.resize(i + 1);
+  return t_overflow_blocks[i];
+}
+
+std::atomic<uint32_t> g_thread_counter{0};
+uint32_t ThisThreadStatShard() {
+  static thread_local uint32_t shard =
+      g_thread_counter.fetch_add(1, std::memory_order_relaxed) %
+      FaultPoint::kStatShards;
+  return shard;
+}
+
+std::atomic<uint32_t> g_next_tls_slot{0};
+
+}  // namespace
+
+uint64_t StableHash64(std::string_view bytes) {
+  // FNV-1a, then one splitmix round to spread low-entropy payloads.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return SplitMix64(h);
+}
+
+uint64_t RetryBackoffMicros(uint64_t base_us, uint32_t attempt, uint64_t salt) {
+  if (base_us == 0) return 0;
+  const uint64_t delay = base_us << (attempt < 6 ? attempt : 6);
+  const uint64_t half = delay / 2;
+  return half + SplitMix64(salt ^ (attempt + 0x51c64ull)) % (half + 1);
+}
+
+uint64_t FaultPoint::hits() const {
+  uint64_t total = 0;
+  for (const StatShard& s : stat_shards_) {
+    total += s.hits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t FaultPoint::NextOrdinal() {
+  TlsOrdinalBlock& block = OrdinalBlockForSlot(tls_slot_);
+  const uint32_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (block.epoch != epoch || block.next == block.end) {
+    if (block.epoch == epoch && block.next > block.start) {
+      // Retire the exhausted block's consumed count into the striped stats.
+      // (A block from a stale epoch predates the last counter reset and is
+      // dropped — its hits were already zeroed.)
+      stat_shards_[ThisThreadStatShard()].hits.fetch_add(
+          block.next - block.start, std::memory_order_relaxed);
+    }
+    block.epoch = epoch;
+    block.start = block.next =
+        ordinal_.fetch_add(kOrdinalBlock, std::memory_order_relaxed);
+    block.end = block.start + kOrdinalBlock;
+  }
+  return ++block.next;  // 1-based
+}
+
+void FaultPoint::ResetCountersLocked() {
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  ordinal_.store(0, std::memory_order_relaxed);
+  fires_.store(0, std::memory_order_relaxed);
+  for (StatShard& s : stat_shards_) {
+    s.hits.store(0, std::memory_order_relaxed);
+  }
+}
+
+Status FaultPoint::FireSlow(std::string_view payload) {
+  // Striped hit count: a plain load+store on this thread's padded slot. No
+  // read-modify-write, no shared cache line — an armed-but-idle point stays
+  // cheap even with every pipeline thread hammering it. The counting
+  // triggers skip even this: their hit count rides along with the ordinal
+  // block and is retired when the block is exhausted.
+  auto count_hit = [this] {
+    std::atomic<uint64_t>& slot = stat_shards_[ThisThreadStatShard()].hits;
+    slot.store(slot.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  };
+  bool fire = false;
+  switch (spec_.trigger) {
+    case FaultSpec::Trigger::kAlways:
+      count_hit();
+      fire = true;
+      break;
+    case FaultSpec::Trigger::kNth:
+      fire = NextOrdinal() == spec_.nth;
+      break;
+    case FaultSpec::Trigger::kEveryNth:
+      fire = spec_.nth > 0 && NextOrdinal() % spec_.nth == 0;
+      break;
+    case FaultSpec::Trigger::kProbability:
+      count_hit();
+      if (!payload.empty()) {
+        fire = HashToUnit(seed_, payload) < spec_.probability;
+      } else {
+        std::lock_guard<std::mutex> lock(mu_);
+        fire = rng_.NextBool(spec_.probability);
+      }
+      break;
+  }
+  if (!fire) return Status::OK();
+  return Fired();
+}
+
+Status FaultPoint::Fired() {
+  uint64_t f = fires_.load(std::memory_order_relaxed);
+  do {
+    if (f >= spec_.max_fires) return Status::OK();
+  } while (!fires_.compare_exchange_weak(f, f + 1, std::memory_order_relaxed));
+  if (spec_.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(spec_.delay_us));
+  }
+  if (spec_.code == StatusCode::kOk) return Status::OK();
+  return Status(spec_.code, "injected fault at '" + name_ + "'");
+}
+
+FaultInjector& FaultInjector::Default() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+FaultPoint* FaultInjector::FindLocked(const std::string& name) const {
+  auto it = points_.find(name);
+  return it == points_.end() ? nullptr : it->second;
+}
+
+FaultPoint* FaultInjector::RegisterPoint(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it != points_.end()) return it->second;
+  auto* point = new FaultPoint(std::string(name));  // process-lifetime
+  point->seed_ = seed_ ^ StableHash64(point->name());
+  point->tls_slot_ = g_next_tls_slot.fetch_add(1, std::memory_order_relaxed);
+  points_.emplace(point->name(), point);
+  return point;
+}
+
+void FaultInjector::Arm(const std::string& point, FaultSpec spec) {
+  FaultPoint* p = RegisterPoint(point);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Quiesce the point before rewriting its spec: Fire() reads spec_/seed_
+  // without a lock, guarded only by the armed flag.
+  bool was_armed = p->armed_.exchange(false, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> plock(p->mu_);
+    p->spec_ = spec;
+    p->seed_ = seed_ ^ StableHash64(p->name());
+    p->rng_ = Rng(p->seed_);
+    p->ResetCountersLocked();
+  }
+  if (!was_armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  p->armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultPoint* p = FindLocked(point);
+  if (p == nullptr) return;
+  if (p->armed_.exchange(false, std::memory_order_acq_rel)) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, p] : points_) {
+    if (p->armed_.exchange(false, std::memory_order_acq_rel)) {
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  for (auto& [name, p] : points_) {
+    bool was_armed = p->armed_.exchange(false, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> plock(p->mu_);
+      p->seed_ = seed ^ StableHash64(p->name());
+      p->rng_ = Rng(p->seed_);
+      p->ResetCountersLocked();
+    }
+    if (was_armed) p->armed_.store(true, std::memory_order_release);
+  }
+}
+
+uint64_t FaultInjector::seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+Result<int> FaultInjector::ArmFromString(const std::string& spec) {
+  // Split on ';' and ','.
+  std::vector<std::string> entries;
+  std::string cur;
+  for (char c : spec) {
+    if (c == ';' || c == ',') {
+      entries.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  entries.push_back(cur);
+
+  // Two passes: seed entries apply first so every armed point derives from
+  // the final seed no matter where "seed=" sits in the string.
+  std::vector<std::pair<std::string, FaultSpec>> to_arm;
+  bool have_seed = false;
+  uint64_t new_seed = 0;
+  for (std::string entry : entries) {
+    entry = Trim(entry);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("bad fault spec entry '" + entry +
+                                     "' (want point=trigger[...])");
+    }
+    std::string point = Trim(entry.substr(0, eq));
+    std::string rest = Trim(entry.substr(eq + 1));
+    if (point == "seed") {
+      new_seed = std::strtoull(rest.c_str(), nullptr, 10);
+      have_seed = true;
+      continue;
+    }
+    // rest := trigger[:arg][:code][:delay=N]
+    std::vector<std::string> parts = SplitString(rest, ':');
+    if (parts.empty()) {
+      return Status::InvalidArgument("empty fault trigger in '" + entry + "'");
+    }
+    FaultSpec fs;
+    size_t next = 1;
+    const std::string trig = ToLowerAscii(parts[0]);
+    auto need_arg = [&]() -> Result<std::string> {
+      if (next >= parts.size()) {
+        return Status::InvalidArgument("fault trigger '" + trig +
+                                       "' needs an argument in '" + entry + "'");
+      }
+      return parts[next++];
+    };
+    if (trig == "always") {
+      fs.trigger = FaultSpec::Trigger::kAlways;
+    } else if (trig == "nth" || trig == "every") {
+      IDEA_ASSIGN_OR_RETURN(std::string arg, need_arg());
+      fs.trigger =
+          trig == "nth" ? FaultSpec::Trigger::kNth : FaultSpec::Trigger::kEveryNth;
+      fs.nth = std::strtoull(arg.c_str(), nullptr, 10);
+      if (fs.nth == 0) {
+        return Status::InvalidArgument("fault trigger '" + trig +
+                                       "' needs n >= 1 in '" + entry + "'");
+      }
+    } else if (trig == "prob") {
+      IDEA_ASSIGN_OR_RETURN(std::string arg, need_arg());
+      fs.trigger = FaultSpec::Trigger::kProbability;
+      fs.probability = std::strtod(arg.c_str(), nullptr);
+      if (fs.probability < 0.0 || fs.probability > 1.0) {
+        return Status::InvalidArgument("fault probability out of [0,1] in '" +
+                                       entry + "'");
+      }
+    } else if (trig == "delay") {
+      IDEA_ASSIGN_OR_RETURN(std::string arg, need_arg());
+      fs.trigger = FaultSpec::Trigger::kAlways;
+      fs.code = StatusCode::kOk;
+      fs.delay_us = std::strtoull(arg.c_str(), nullptr, 10);
+    } else {
+      return Status::InvalidArgument("unknown fault trigger '" + parts[0] +
+                                     "' in '" + entry + "'");
+    }
+    for (; next < parts.size(); ++next) {
+      const std::string& p = parts[next];
+      if (p.rfind("delay=", 0) == 0) {
+        fs.delay_us = std::strtoull(p.c_str() + 6, nullptr, 10);
+      } else if (p.rfind("max_fires=", 0) == 0) {
+        fs.max_fires = std::strtoull(p.c_str() + 10, nullptr, 10);
+      } else {
+        IDEA_ASSIGN_OR_RETURN(fs.code, CodeFromName(p));
+      }
+    }
+    to_arm.emplace_back(std::move(point), fs);
+  }
+  if (have_seed) Reseed(new_seed);
+  for (auto& [point, fs] : to_arm) Arm(point, fs);
+  return static_cast<int>(to_arm.size());
+}
+
+Result<int> FaultInjector::ArmFromEnv(const char* var) {
+  const char* value = std::getenv(var);
+  if (value == nullptr || value[0] == '\0') return 0;
+  return ArmFromString(value);
+}
+
+FaultInjector::PointStats FaultInjector::GetStats(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const FaultPoint* p = FindLocked(point);
+  if (p == nullptr) return PointStats{};
+  return PointStats{p->hits(), p->fires(), p->armed()};
+}
+
+std::map<std::string, FaultInjector::PointStats> FaultInjector::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, PointStats> out;
+  for (const auto& [name, p] : points_) {
+    out.emplace(name, PointStats{p->hits(), p->fires(), p->armed()});
+  }
+  return out;
+}
+
+}  // namespace idea::common

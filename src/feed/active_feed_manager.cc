@@ -44,14 +44,22 @@ Status ActiveFeedManager::StartFeed(StartArgs args) {
   if (feed->config.pipeline_depth > 1) {
     feed->sequencer = std::make_unique<FeedPipelineSequencer>(cluster_->node_count());
   }
-  feed->storage = std::make_unique<StorageJob>(name, cluster_, dataset);
+  if (feed->config.on_error == OnError::kDeadLetter) {
+    // A fresh queue per run; the previous run's letters are dropped once the
+    // feed restarts (operators drain between runs).
+    feed->dlq = std::make_shared<DeadLetterQueue>(name, feed->config.dlq_capacity);
+    std::lock_guard<std::mutex> lock(mu_);
+    dlqs_[name] = feed->dlq;
+  }
+  feed->storage = std::make_unique<StorageJob>(name, cluster_, dataset, feed->config,
+                                               feed->dlq.get());
   Status st = feed->storage->Start();
   if (!st.ok()) {
     (void)ComputingJob::Undeploy(name, cluster_);
     return st;
   }
   feed->intake = std::make_unique<IntakeJob>(name, cluster_);
-  st = feed->intake->Start(args.adapter_factory, args.config.balanced_intake);
+  st = feed->intake->Start(args.adapter_factory, args.config, feed->dlq.get());
   if (!st.ok()) {
     (void)ComputingJob::Undeploy(name, cluster_);
     return st;
@@ -115,7 +123,8 @@ void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
       const uint64_t ticket = next_ticket.fetch_add(1);
       inflight->Add(1);
       auto inv = ComputingJob::RunOnce(feed->config.name, feed->config, cluster_,
-                                       feed->sequencer.get(), ticket);
+                                       feed->sequencer.get(), ticket,
+                                       feed->dlq.get());
       inflight->Add(-1);
       if (!inv.ok()) {
         // First failure stops the adapters; the backlog is drained after the
@@ -127,6 +136,10 @@ void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
         std::lock_guard<std::mutex> lock(mu_);
         feed->stats.records_ingested += inv->records_out;
         feed->stats.parse_errors += inv->parse_errors;
+        feed->stats.validation_errors += inv->validation_errors;
+        feed->stats.records_skipped += inv->records_skipped;
+        feed->stats.dead_letters += inv->dead_letters;
+        feed->stats.retries += inv->retries;
         if (inv->records_in > 0 || !inv->intake_exhausted) {
           ++feed->stats.computing_jobs;
           feed->stats.compute_micros_total += inv->wall_micros;
@@ -156,7 +169,14 @@ void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
   }
 
   if (feed->final_status.failed()) {
-    feed->intake->StopAdapters();
+    // Abort propagation: the pipeline is going down with an error. Poison
+    // the holders on both job boundaries so anything still blocked in a
+    // Push (an adapter against a full intake holder, a straggler computing
+    // task against a full storage holder) fails fast instead of deadlocking
+    // against consumers that will never pull again.
+    Status cause = feed->final_status.Get();
+    feed->intake->Abort(cause);
+    feed->storage->Abort(cause);
     DrainIntakeBacklog(feed);
   }
   // When the last computing job for the feed finishes, the storage job stops
@@ -165,6 +185,21 @@ void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
   feed->storage->Join();
   feed->intake->Join();
   feed->final_status.Set(feed->storage->first_error());
+  feed->final_status.Set(feed->intake->first_error());
+  {
+    // Storage-side policy outcomes are visible only to the storage job; fold
+    // them into the feed summary with the computing-side counters. Records
+    // the storage job rejected were counted ingested when the computing job
+    // shipped them — take them back out so records_ingested means "stored".
+    const uint64_t storage_rejects =
+        feed->storage->records_skipped() + feed->storage->dead_letters();
+    std::lock_guard<std::mutex> lock(mu_);
+    feed->stats.records_skipped += feed->storage->records_skipped();
+    feed->stats.dead_letters += feed->storage->dead_letters();
+    feed->stats.retries += feed->storage->retries();
+    feed->stats.records_ingested -=
+        std::min(feed->stats.records_ingested, storage_rejects);
+  }
   // Fold the holders' back-pressure view into the feed summary now that the
   // pipeline is quiescent.
   FeedRuntimeStats holder_summary;
@@ -250,6 +285,13 @@ std::vector<std::string> ActiveFeedManager::ActiveFeeds() const {
 bool ActiveFeedManager::IsActive(const std::string& feed_name) const {
   std::lock_guard<std::mutex> lock(mu_);
   return feeds_.count(feed_name) > 0;
+}
+
+std::shared_ptr<DeadLetterQueue> ActiveFeedManager::dead_letter_queue(
+    const std::string& feed_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dlqs_.find(feed_name);
+  return it == dlqs_.end() ? nullptr : it->second;
 }
 
 }  // namespace idea::feed

@@ -23,6 +23,7 @@
 #include "common/first_error.h"
 #include "common/status.h"
 #include "feed/computing_job.h"
+#include "feed/dead_letter.h"
 #include "feed/feed.h"
 #include "feed/intake_job.h"
 #include "feed/storage_job.h"
@@ -61,6 +62,12 @@ class ActiveFeedManager {
   std::vector<std::string> ActiveFeeds() const;
   bool IsActive(const std::string& feed_name) const;
 
+  /// The feed's dead-letter queue (policy dead-letter). Queues outlive the
+  /// feed run that filled them — operators drain post-mortem — and are
+  /// replaced when the feed restarts. Null when the feed never ran with the
+  /// dead-letter policy.
+  std::shared_ptr<DeadLetterQueue> dead_letter_queue(const std::string& feed_name) const;
+
  private:
   struct ActiveFeed {
     FeedConfig config;
@@ -72,6 +79,8 @@ class ActiveFeedManager {
     std::unique_ptr<FeedPipelineSequencer> sequencer;
     /// The DriveFeed invocation loop, a task on the CC's pool.
     runtime::TaskGroup driver;
+    /// Shared with dlqs_ so letters survive feed completion.
+    std::shared_ptr<DeadLetterQueue> dlq;
     FeedRuntimeStats stats;
     common::FirstError final_status;
     bool finished = false;
@@ -87,6 +96,8 @@ class ActiveFeedManager {
   UdfRegistry* udfs_;
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<ActiveFeed>> feeds_;
+  /// Feed name -> its latest dead-letter queue (kept after the feed stops).
+  std::map<std::string, std::shared_ptr<DeadLetterQueue>> dlqs_;
 };
 
 }  // namespace idea::feed

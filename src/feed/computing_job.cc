@@ -1,13 +1,42 @@
 #include "feed/computing_job.h"
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 
+#include "common/fault_injection.h"
 #include "common/virtual_clock.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "runtime/frame.h"
 
 namespace idea::feed {
+
+namespace {
+
+/// Retryable = worth another attempt with the same inputs. Aborts mean the
+/// pipeline itself is going down; validation-class codes are deterministic
+/// for a given record and will not change on retry.
+bool IsRetryable(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kAborted:
+    case StatusCode::kTypeMismatch:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Validation rejects (datatype checks, coercions) vs everything else, for
+/// the parse_errors / validation_errors metric split.
+bool IsValidationReject(const Status& st) {
+  return st.code() == StatusCode::kTypeMismatch ||
+         st.code() == StatusCode::kInvalidArgument;
+}
+
+}  // namespace
 
 Status ComputingJob::Deploy(const std::string& feed_name, const FeedConfig& config,
                             const std::string& udf, cluster::Cluster* cluster,
@@ -63,7 +92,8 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
                                                   const FeedConfig& config,
                                                   cluster::Cluster* cluster,
                                                   FeedPipelineSequencer* sequencer,
-                                                  uint64_t ticket) {
+                                                  uint64_t ticket,
+                                                  DeadLetterQueue* dlq) {
   const size_t nodes = cluster->node_count();
   const size_t quota = std::max<size_t>(1, config.batch_size / nodes);
   cluster->predeployed().RecordInvocation(JobId(feed_name));
@@ -76,13 +106,17 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
   obs::Counter* records_in_metric = scope.Counter("records_in");
   obs::Counter* records_out_metric = scope.Counter("records_out");
   obs::Counter* parse_errors_metric = scope.Counter("parse_errors");
+  obs::Counter* validation_errors_metric = scope.Counter("validation_errors");
+  obs::Counter* skipped_metric = scope.Counter("records_skipped");
+  obs::Counter* retries_metric = scope.Counter("retries");
 
   obs::Tracer& tracer = obs::Tracer::Default();
   const uint64_t trace_id = tracer.StartTrace(feed_name);
 
   WallTimer timer;
   timer.Start();
-  std::atomic<uint64_t> records_in{0}, records_out{0}, parse_errors{0};
+  std::atomic<uint64_t> records_in{0}, records_out{0}, parse_errors{0},
+      validation_errors{0}, records_skipped{0}, dead_letters{0}, retries{0};
   std::atomic<size_t> exhausted_nodes{0};
   std::vector<std::vector<obs::Span>> node_spans(nodes);
   runtime::TaskGroup group;
@@ -131,17 +165,40 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
         pull_turn.Release();
         span("intake.pull", t0);
         records_in.fetch_add(raw.size(), std::memory_order_relaxed);
-        // Parser.
+        // Parser. Malformed records are record-level failures: they are
+        // counted (split lexer rejects vs datatype validation rejects) and
+        // never kill the feed; the dead-letter policy additionally parks
+        // them. The injected parse fault is keyed by record content so the
+        // poisoned set is a pure function of the seed and the data,
+        // independent of how records interleave across node threads.
         std::vector<adm::Value> parsed;
+        std::vector<size_t> origin;  // parsed[i] came from raw[origin[i]]
         parsed.reserve(raw.size());
+        origin.reserve(raw.size());
         t0 = obs::NowMicros();
-        for (const std::string& r : raw) {
-          auto rec = artifact->parser->Parse(r);
-          if (!rec.ok()) {
-            parse_errors.fetch_add(1, std::memory_order_relaxed);
-            continue;
+        for (size_t i = 0; i < raw.size(); ++i) {
+          const std::string& r = raw[i];
+          Status reject = IDEA_FAULT_HIT_KEYED("compute.parse", r);
+          if (reject.ok()) {
+            auto rec = artifact->parser->Parse(r);
+            if (rec.ok()) {
+              parsed.push_back(std::move(rec).value());
+              origin.push_back(i);
+              continue;
+            }
+            reject = rec.status();
           }
-          parsed.push_back(std::move(rec).value());
+          if (IsValidationReject(reject)) {
+            validation_errors.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            parse_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (config.on_error == OnError::kDeadLetter && dlq != nullptr) {
+            dlq->Add(DeadLetter{r, "parse", reject, 0});
+            dead_letters.fetch_add(1, std::memory_order_relaxed);
+          } else if (config.on_error == OnError::kSkip) {
+            records_skipped.fetch_add(1, std::memory_order_relaxed);
+          }
         }
         span("compute.parse", t0);
         // UDF evaluator: refresh intermediate state, then enrich. This is
@@ -150,36 +207,120 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
         // (and its cached hash builds) alive across invocations, so this
         // Initialize() is a no-op / delta apply in the steady state and only
         // pays a full rebuild on the first batch or after heavy churn.
-        std::vector<adm::Value> enriched;
-        double init_start = obs::NowMicros();
-        if (artifact->plan != nullptr) {
-          artifact->accessor->BeginEpoch();
-          IDEA_RETURN_NOT_OK(artifact->plan->Initialize());
-          span("compute.init", init_start);
-          init_us->Record(obs::NowMicros() - init_start);
-          t0 = obs::NowMicros();
-          IDEA_RETURN_NOT_OK(artifact->plan->EnrichBatch(parsed, &enriched));
-          span("compute.enrich", t0);
-          run_us->Record(obs::NowMicros() - t0);
-        } else if (artifact->native != nullptr) {
-          IDEA_RETURN_NOT_OK(artifact->native->Initialize(cluster->node(p).id()));
-          span("compute.init", init_start);
-          init_us->Record(obs::NowMicros() - init_start);
-          t0 = obs::NowMicros();
-          enriched.reserve(parsed.size());
-          for (const auto& rec : parsed) {
-            IDEA_ASSIGN_OR_RETURN(adm::Value v, artifact->native->Evaluate({rec}));
-            enriched.push_back(std::move(v));
+        //
+        // Failure handling: the whole refresh+enrich is retried up to
+        // config.max_retries with deterministic exponential backoff; if the
+        // batch still fails under a skip/dead-letter policy, a per-record
+        // salvage pass (with its own per-record retries) separates records
+        // that fail persistently from casualties of a transient fault.
+        const uint64_t salt = common::StableHash64(feed_name) ^
+                              (ticket * 0x9e3779b97f4a7c15ull) ^ p;
+        auto backoff = [&](uint32_t attempt) {
+          retries.fetch_add(1, std::memory_order_relaxed);
+          uint64_t us =
+              common::RetryBackoffMicros(config.retry_backoff_us, attempt, salt);
+          if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+        };
+        auto refresh = [&]() -> Status {
+          double init_start = obs::NowMicros();
+          IDEA_RETURN_NOT_OK(IDEA_FAULT_HIT("compute.init"));
+          if (artifact->plan != nullptr) {
+            artifact->accessor->BeginEpoch();
+            IDEA_RETURN_NOT_OK(artifact->plan->Initialize());
+          } else {
+            IDEA_RETURN_NOT_OK(artifact->native->Initialize(cluster->node(p).id()));
           }
-          span("compute.enrich", t0);
-          run_us->Record(obs::NowMicros() - t0);
-        } else {
+          span("compute.init", init_start);
+          init_us->Record(obs::NowMicros() - init_start);
+          return Status::OK();
+        };
+        auto enrich_one = [&](const adm::Value& rec) -> Result<adm::Value> {
+          IDEA_RETURN_NOT_OK(IDEA_FAULT_HIT("compute.udf"));
+          if (artifact->plan != nullptr) return artifact->plan->EnrichOne(rec);
+          return artifact->native->Evaluate({rec});
+        };
+        std::vector<adm::Value> enriched;
+        if (artifact->plan == nullptr && artifact->native == nullptr) {
           enriched = std::move(parsed);
+        } else {
+          auto enrich_batch = [&](std::vector<adm::Value>* out) -> Status {
+            IDEA_RETURN_NOT_OK(refresh());
+            double e0 = obs::NowMicros();
+            out->reserve(parsed.size());
+            for (const auto& rec : parsed) {
+              IDEA_ASSIGN_OR_RETURN(adm::Value v, enrich_one(rec));
+              out->push_back(std::move(v));
+            }
+            span("compute.enrich", e0);
+            run_us->Record(obs::NowMicros() - e0);
+            return Status::OK();
+          };
+          Status enrich_status;
+          for (uint32_t attempt = 0;; ++attempt) {
+            enriched.clear();
+            enrich_status = enrich_batch(&enriched);
+            if (enrich_status.ok()) break;
+            if (IsRetryable(enrich_status) && attempt < config.max_retries) {
+              backoff(attempt);
+              continue;
+            }
+            break;
+          }
+          if (!enrich_status.ok()) {
+            if (config.on_error == OnError::kAbort ||
+                enrich_status.code() == StatusCode::kAborted) {
+              return enrich_status;
+            }
+            // Salvage pass: the batch keeps failing as a whole; evaluate
+            // record by record so only the records that actually fail pay
+            // the policy. The refresh gets its own retries — without state
+            // nothing can be salvaged and the invocation fails.
+            enriched.clear();
+            Status refreshed;
+            for (uint32_t attempt = 0;; ++attempt) {
+              refreshed = refresh();
+              if (refreshed.ok()) break;
+              if (IsRetryable(refreshed) && attempt < config.max_retries) {
+                backoff(attempt);
+                continue;
+              }
+              return refreshed;
+            }
+            enriched.reserve(parsed.size());
+            for (size_t k = 0; k < parsed.size(); ++k) {
+              Status rec_status;
+              uint32_t attempt = 0;
+              for (;; ++attempt) {
+                auto one = enrich_one(parsed[k]);
+                if (one.ok()) {
+                  enriched.push_back(std::move(one).value());
+                  rec_status = Status::OK();
+                  break;
+                }
+                rec_status = one.status();
+                if (rec_status.code() == StatusCode::kAborted) return rec_status;
+                if (IsRetryable(rec_status) && attempt < config.max_retries) {
+                  backoff(attempt);
+                  continue;
+                }
+                break;
+              }
+              if (!rec_status.ok()) {
+                if (config.on_error == OnError::kDeadLetter && dlq != nullptr) {
+                  dlq->Add(DeadLetter{raw[origin[k]], "udf", rec_status, attempt + 1});
+                  dead_letters.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                  records_skipped.fetch_add(1, std::memory_order_relaxed);
+                }
+              }
+            }
+          }
         }
         records_out.fetch_add(enriched.size(), std::memory_order_relaxed);
         // Feed pipeline sink: ship frames to the storage job, in ticket
         // order so concurrent invocations upsert in sequential order.
         ship_turn.Acquire();
+        IDEA_RETURN_NOT_OK(IDEA_FAULT_HIT("compute.ship"));
         t0 = obs::NowMicros();
         for (auto& frame : runtime::FrameRecords(enriched, config.frame_bytes)) {
           frame.set_trace_id(trace_id);
@@ -209,6 +350,10 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
   out.records_in = records_in.load();
   out.records_out = records_out.load();
   out.parse_errors = parse_errors.load();
+  out.validation_errors = validation_errors.load();
+  out.records_skipped = records_skipped.load();
+  out.dead_letters = dead_letters.load();
+  out.retries = retries.load();
   out.intake_exhausted = exhausted_nodes.load() == nodes;
   out.wall_micros = timer.ElapsedMicros();
   out.trace_id = trace_id;
@@ -225,6 +370,9 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
     records_in_metric->Add(out.records_in);
     records_out_metric->Add(out.records_out);
     parse_errors_metric->Add(out.parse_errors);
+    validation_errors_metric->Add(out.validation_errors);
+    skipped_metric->Add(out.records_skipped);
+    retries_metric->Add(out.retries);
   }
   return out;
 }

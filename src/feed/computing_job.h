@@ -19,6 +19,7 @@
 
 #include "cluster/cluster_controller.h"
 #include "common/status.h"
+#include "feed/dead_letter.h"
 #include "feed/feed.h"
 #include "feed/record_parser.h"
 #include "feed/udf.h"
@@ -43,7 +44,11 @@ struct ComputingArtifact : public runtime::JobArtifact {
 struct ComputingInvocation {
   uint64_t records_in = 0;
   uint64_t records_out = 0;
-  uint64_t parse_errors = 0;
+  uint64_t parse_errors = 0;       // lexer/shape rejects
+  uint64_t validation_errors = 0;  // datatype validation/coercion rejects
+  uint64_t records_skipped = 0;    // dropped by the `skip` failure policy
+  uint64_t dead_letters = 0;       // parked by the `dead-letter` policy
+  uint64_t retries = 0;            // transient-failure retry attempts
   bool intake_exhausted = false;
   double wall_micros = 0;
   /// Pipeline-trace id of this batch (obs::Tracer); 0 when untraced.
@@ -78,11 +83,14 @@ class ComputingJob {
   /// up to ceil(batch_size / nodes) records. With a sequencer, `ticket` is
   /// this invocation's position in the feed's pipeline; concurrent RunOnce
   /// calls may then overlap while pulls and ships stay ticket-ordered.
+  /// Failure handling follows config.on_error / config.max_retries; under the
+  /// dead-letter policy rejected records are parked in `dlq` when provided.
   static Result<ComputingInvocation> RunOnce(const std::string& feed_name,
                                              const FeedConfig& config,
                                              cluster::Cluster* cluster,
                                              FeedPipelineSequencer* sequencer = nullptr,
-                                             uint64_t ticket = 0);
+                                             uint64_t ticket = 0,
+                                             DeadLetterQueue* dlq = nullptr);
 
   static std::string JobId(const std::string& feed_name) {
     return "computing-job:" + feed_name;

@@ -1,0 +1,53 @@
+#include "feed/dead_letter.h"
+
+namespace idea::feed {
+
+DeadLetterQueue::DeadLetterQueue(std::string feed, size_t capacity,
+                                 obs::MetricsRegistry* registry)
+    : feed_(std::move(feed)), capacity_(capacity == 0 ? 1 : capacity) {
+  if (registry == nullptr) registry = &obs::MetricsRegistry::Default();
+  obs::Scope scope(registry, "idea.feed." + feed_ + ".dlq");
+  enqueued_metric_ = scope.Counter("enqueued");
+  dropped_metric_ = scope.Counter("dropped");
+  depth_metric_ = scope.Gauge("depth");
+  depth_metric_->Set(0);
+}
+
+void DeadLetterQueue::Add(DeadLetter letter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (letters_.size() >= capacity_) {
+    letters_.pop_front();
+    ++dropped_count_;
+    dropped_metric_->Increment();
+  }
+  letters_.push_back(std::move(letter));
+  ++enqueued_count_;
+  enqueued_metric_->Increment();
+  depth_metric_->Set(static_cast<int64_t>(letters_.size()));
+}
+
+std::vector<DeadLetter> DeadLetterQueue::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DeadLetter> out(std::make_move_iterator(letters_.begin()),
+                              std::make_move_iterator(letters_.end()));
+  letters_.clear();
+  depth_metric_->Set(0);
+  return out;
+}
+
+size_t DeadLetterQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return letters_.size();
+}
+
+uint64_t DeadLetterQueue::enqueued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enqueued_count_;
+}
+
+uint64_t DeadLetterQueue::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_count_;
+}
+
+}  // namespace idea::feed

@@ -1,0 +1,66 @@
+// Per-feed dead-letter queue: records that a feed's `dead-letter` failure
+// policy could not ingest (poisonous parses, persistently failing UDF
+// evaluations, storage rejections) are parked here instead of killing the
+// feed — the configurable ingestion-policy design of "Scalable
+// Fault-Tolerant Data Feeds in AsterixDB" (Grover & Carey). The queue is
+// bounded: when full, the oldest letter is dropped (and counted) so a
+// misbehaving feed cannot grow memory without bound.
+//
+// Letters survive the feed run that produced them: the ActiveFeedManager
+// keeps each feed's queue registered until the feed is restarted, so
+// operators can drain post-mortem via Instance::DrainDeadLetters().
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace idea::feed {
+
+/// One record the pipeline gave up on.
+struct DeadLetter {
+  std::string raw;    // original raw record (serialized record for storage stage)
+  std::string stage;  // "intake" | "parse" | "udf" | "storage"
+  Status reason;      // final error after retries
+  uint32_t attempts = 0;  // evaluation attempts spent (0 for parse-stage drops)
+};
+
+/// Bounded MPMC dead-letter buffer with idea.feed.<feed>.dlq.* metrics
+/// (enqueued / dropped counters, depth gauge).
+class DeadLetterQueue {
+ public:
+  explicit DeadLetterQueue(std::string feed, size_t capacity = 4096,
+                           obs::MetricsRegistry* registry = nullptr);
+
+  const std::string& feed() const { return feed_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Parks one letter; evicts the oldest when the queue is at capacity.
+  void Add(DeadLetter letter);
+
+  /// Removes and returns every parked letter (oldest first).
+  std::vector<DeadLetter> Drain();
+
+  size_t depth() const;
+  /// Letters added over this queue's lifetime (drained ones included).
+  uint64_t enqueued() const;
+  /// Letters evicted because the queue was full.
+  uint64_t dropped() const;
+
+ private:
+  std::string feed_;
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<DeadLetter> letters_;
+  uint64_t enqueued_count_ = 0;
+  uint64_t dropped_count_ = 0;
+  obs::Counter* enqueued_metric_ = nullptr;
+  obs::Counter* dropped_metric_ = nullptr;
+  obs::Gauge* depth_metric_ = nullptr;
+};
+
+}  // namespace idea::feed

@@ -6,6 +6,29 @@
 
 namespace idea::feed {
 
+Result<OnError> ParseOnError(const std::string& name) {
+  std::string n = ToLowerAscii(name);
+  for (char& c : n) {
+    if (c == '_') c = '-';
+  }
+  if (n == "abort" || n == "fail") return OnError::kAbort;
+  if (n == "skip" || n == "discard") return OnError::kSkip;
+  if (n == "dead-letter" || n == "deadletter" || n == "dlq") {
+    return OnError::kDeadLetter;
+  }
+  return Status::InvalidArgument(
+      "unknown on-error policy '" + name + "' (want abort | skip | dead-letter)");
+}
+
+const char* OnErrorName(OnError policy) {
+  switch (policy) {
+    case OnError::kAbort: return "abort";
+    case OnError::kSkip: return "skip";
+    case OnError::kDeadLetter: return "dead-letter";
+  }
+  return "abort";
+}
+
 Result<AdapterFactory> MakeAdapterFactory(
     const std::map<std::string, std::string>& config) {
   auto get = [&](const std::string& key) -> std::string {

@@ -11,6 +11,20 @@
 
 namespace idea::feed {
 
+/// Per-feed ingestion failure policy (the AsterixDB feed-policy lineage:
+/// "Scalable Fault-Tolerant Data Feeds in AsterixDB", Grover & Carey).
+/// Applies to record-level failures (parse/validation rejects, persistently
+/// failing UDF evaluations, storage rejections) after retries are exhausted.
+enum class OnError : uint8_t {
+  kAbort,       // first failure kills the feed (default; pre-policy behavior)
+  kSkip,        // drop the failing record, count it, keep going
+  kDeadLetter,  // park the failing record in the feed's dead-letter queue
+};
+
+/// "abort" | "skip" | "dead-letter" (case-insensitive; '_' == '-').
+Result<OnError> ParseOnError(const std::string& name);
+const char* OnErrorName(OnError policy);
+
 /// Static description of a feed (CREATE FEED ... WITH {...}).
 struct FeedConfig {
   std::string name;
@@ -28,6 +42,20 @@ struct FeedConfig {
   /// invocations Model-3-style (state may be up to K-1 batches stale);
   /// per-node intake pulls and storage ships stay in invocation order.
   size_t pipeline_depth = 1;
+  /// What to do with a record/batch that still fails after `max_retries`.
+  OnError on_error = OnError::kAbort;
+  /// Transient-failure retries per computing invocation (plan refresh + UDF
+  /// evaluation). 0 = fail straight into `on_error`.
+  uint32_t max_retries = 0;
+  /// Base retry backoff (µs). Delays grow exponentially per attempt (capped
+  /// at 64x) with deterministic jitter in [delay/2, delay].
+  uint64_t retry_backoff_us = 1000;
+  /// Dead-letter queue capacity (oldest letters are evicted beyond this).
+  size_t dlq_capacity = 4096;
+  /// Deadline for a blocked partition-holder push (µs); a producer stalled
+  /// longer than this (dead consumer) fails with TimedOut instead of
+  /// deadlocking. 0 = wait forever.
+  uint64_t holder_push_deadline_us = 120 * 1000 * 1000ull;
   /// Adapter config passthrough ("adapter-name", "sockets", ...).
   std::map<std::string, std::string> adapter_config;
 };
@@ -46,7 +74,11 @@ using AdapterFactory = std::function<Result<std::unique_ptr<FeedAdapter>>(
 /// Cumulative counters for a running/finished feed.
 struct FeedRuntimeStats {
   uint64_t records_ingested = 0;   // records that reached storage
-  uint64_t parse_errors = 0;
+  uint64_t parse_errors = 0;       // lexer/shape failures (ParseError)
+  uint64_t validation_errors = 0;  // datatype validation/coercion rejects
+  uint64_t records_skipped = 0;    // dropped by the `skip` policy
+  uint64_t dead_letters = 0;       // parked by the `dead-letter` policy
+  uint64_t retries = 0;            // transient-failure retry attempts
   uint64_t computing_jobs = 0;     // invocations (dynamic framework)
   double compute_micros_total = 0; // Σ wall time of computing jobs
   uint64_t plan_initializations = 0;

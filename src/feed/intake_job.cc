@@ -1,5 +1,6 @@
 #include "feed/intake_job.h"
 
+#include "common/fault_injection.h"
 #include "obs/metrics.h"
 
 namespace idea::feed {
@@ -12,15 +13,17 @@ IntakeJob::~IntakeJob() {
   Join();
 }
 
-Status IntakeJob::Start(const AdapterFactory& factory, bool balanced_intake) {
+Status IntakeJob::Start(const AdapterFactory& factory, const FeedConfig& config,
+                        DeadLetterQueue* dlq) {
   const size_t nodes = cluster_->node_count();
   for (size_t p = 0; p < nodes; ++p) {
     auto holder = std::make_shared<runtime::IntakePartitionHolder>(
         runtime::PartitionHolderId{feed_name_, "intake", p});
+    holder->set_push_deadline_us(config.holder_push_deadline_us);
     IDEA_RETURN_NOT_OK(cluster_->node(p).holders().RegisterIntake(holder));
     holders_.push_back(std::move(holder));
   }
-  const size_t intake_count = balanced_intake ? nodes : 1;
+  const size_t intake_count = config.balanced_intake ? nodes : 1;
   for (size_t i = 0; i < intake_count; ++i) {
     IDEA_ASSIGN_OR_RETURN(std::unique_ptr<FeedAdapter> adapter, factory(i, intake_count));
     adapters_.push_back(std::move(adapter));
@@ -28,19 +31,43 @@ Status IntakeJob::Start(const AdapterFactory& factory, bool balanced_intake) {
   live_adapters_.store(adapters_.size());
   obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.intake." + feed_name_);
   obs::Counter* adapter_records = scope.Counter("adapter_records");
+  obs::Counter* read_errors = scope.Counter("read_errors");
+  const OnError on_error = config.on_error;
   for (size_t i = 0; i < adapters_.size(); ++i) {
     // Adapter i lives on its intake node's pool: one intake node for the
     // default single-adapter feed, every node when balanced.
     runtime::TaskScheduler* pool = &cluster_->node(i % nodes).scheduler();
-    Status launched =
-        adapter_tasks_.Launch(pool, [this, i, nodes, adapter_records]() -> Status {
+    Status launched = adapter_tasks_.Launch(
+        pool, [this, i, nodes, adapter_records, read_errors, on_error,
+               dlq]() -> Status {
           FeedAdapter* adapter = adapters_[i].get();
           // Round-robin partitioner (Figure 23): spread records evenly so the
           // (possibly expensive) attached UDF parallelizes well.
           size_t next = i;  // offset per intake node to avoid skew
           std::string raw;
           while (adapter->Next(&raw)) {
-            if (!holders_[next % nodes]->Push(std::move(raw)).ok()) break;
+            // Injected adapter read failure (a source hiccup): the record is
+            // in hand but unusable. Keyed by content so the affected set is
+            // seed-deterministic.
+            Status read = IDEA_FAULT_HIT_KEYED("intake.read", raw);
+            if (!read.ok()) {
+              read_errors->Increment();
+              if (on_error == OnError::kDeadLetter && dlq != nullptr) {
+                dlq->Add(DeadLetter{std::move(raw), "intake", read, 0});
+              } else if (on_error == OnError::kAbort) {
+                error_.Set(read);
+                break;
+              }
+              raw.clear();
+              continue;
+            }
+            Status pushed = holders_[next % nodes]->Push(std::move(raw));
+            if (!pushed.ok()) {
+              // Aborted = normal teardown (EOF/stop); anything else (e.g. a
+              // deadline-expired push against a dead consumer) is a failure.
+              if (pushed.code() != StatusCode::kAborted) error_.Set(pushed);
+              break;
+            }
             raw.clear();
             ++next;
             records_.fetch_add(1, std::memory_order_relaxed);
@@ -65,6 +92,11 @@ Status IntakeJob::Start(const AdapterFactory& factory, bool balanced_intake) {
 
 void IntakeJob::StopAdapters() {
   for (auto& a : adapters_) a->Stop();
+}
+
+void IntakeJob::Abort(Status cause) {
+  for (auto& a : adapters_) a->Stop();
+  for (auto& h : holders_) h->Abort(cause);
 }
 
 void IntakeJob::Join() {

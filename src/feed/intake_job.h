@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "cluster/cluster_controller.h"
+#include "common/first_error.h"
 #include "common/status.h"
+#include "feed/dead_letter.h"
 #include "feed/feed.h"
 #include "runtime/partition_holder.h"
 #include "runtime/task_scheduler.h"
@@ -25,14 +27,26 @@ class IntakeJob {
 
   /// Creates and registers one intake partition holder per node, builds the
   /// adapters (one, or one per node when balanced), and starts ingesting.
-  Status Start(const AdapterFactory& factory, bool balanced_intake);
+  /// config supplies the intake layout (balanced_intake), the failure policy
+  /// for adapter read errors, and the holder push deadline; `dlq` receives
+  /// unreadable records under the dead-letter policy.
+  Status Start(const AdapterFactory& factory, const FeedConfig& config,
+               DeadLetterQueue* dlq = nullptr);
 
   /// Asks adapters to stop (STOP FEED); ingestion drains and EOF follows.
   void StopAdapters();
 
+  /// Poisons every intake holder with `cause`: blocked adapters wake and
+  /// stop, computing jobs drain what is queued and see EOF.
+  void Abort(Status cause);
+
   /// Blocks until all adapter tasks finish (EOF has then been pushed to
   /// every partition holder).
   void Join();
+
+  /// First intake-side failure (stalled push, adapter read error under the
+  /// abort policy); OK while healthy.
+  Status first_error() const { return error_.Get(); }
 
   std::shared_ptr<runtime::IntakePartitionHolder> holder(size_t node) const {
     return holders_[node];
@@ -50,6 +64,7 @@ class IntakeJob {
   runtime::TaskGroup adapter_tasks_;
   std::atomic<uint64_t> records_{0};
   std::atomic<size_t> live_adapters_{0};
+  common::FirstError error_;
   bool joined_ = false;
 };
 

@@ -84,7 +84,14 @@ Status StaticFeedPipeline::Start(StartArgs args) {
           while (node->adapter->Next(&raw)) {
             auto rec = node->parser->Parse(raw);
             if (!rec.ok()) {
-              parse_errors_.fetch_add(1, std::memory_order_relaxed);
+              // Same split as the dynamic path: datatype validation rejects
+              // vs lexer/shape failures.
+              if (rec.status().code() == StatusCode::kTypeMismatch ||
+                  rec.status().code() == StatusCode::kInvalidArgument) {
+                validation_errors_.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                parse_errors_.fetch_add(1, std::memory_order_relaxed);
+              }
               continue;
             }
             adm::Value record = std::move(rec).value();
@@ -126,6 +133,7 @@ Result<FeedRuntimeStats> StaticFeedPipeline::Wait() {
     joined_ = true;
     stats_.records_ingested = stored_.load();
     stats_.parse_errors = parse_errors_.load();
+    stats_.validation_errors = validation_errors_.load();
     stats_.wall_micros_total = timer_holder_.ElapsedMicros();
   }
   IDEA_RETURN_NOT_OK(st);

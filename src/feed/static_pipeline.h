@@ -63,6 +63,7 @@ class StaticFeedPipeline {
   runtime::TaskGroup tasks_;
   std::atomic<uint64_t> stored_{0};
   std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> validation_errors_{0};
   double start_us_ = 0;
   WallTimer timer_holder_;
   FeedRuntimeStats stats_;

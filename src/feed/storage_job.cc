@@ -1,13 +1,22 @@
 #include "feed/storage_job.h"
 
+#include <chrono>
+#include <thread>
+
+#include "common/fault_injection.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 
 namespace idea::feed {
 
 StorageJob::StorageJob(std::string feed_name, cluster::Cluster* cluster,
-                       std::shared_ptr<storage::LsmDataset> dataset)
-    : feed_name_(std::move(feed_name)), cluster_(cluster), dataset_(std::move(dataset)) {}
+                       std::shared_ptr<storage::LsmDataset> dataset,
+                       FeedConfig config, DeadLetterQueue* dlq)
+    : feed_name_(std::move(feed_name)),
+      cluster_(cluster),
+      dataset_(std::move(dataset)),
+      config_(std::move(config)),
+      dlq_(dlq) {}
 
 StorageJob::~StorageJob() {
   Close();
@@ -19,6 +28,7 @@ Status StorageJob::Start() {
   for (size_t p = 0; p < nodes; ++p) {
     auto holder = std::make_shared<runtime::StoragePartitionHolder>(
         runtime::PartitionHolderId{feed_name_, "storage", p});
+    holder->set_push_deadline_us(config_.holder_push_deadline_us);
     IDEA_RETURN_NOT_OK(cluster_->node(p).holders().RegisterStorage(holder));
     holders_.push_back(std::move(holder));
   }
@@ -29,14 +39,42 @@ Status StorageJob::Start() {
   obs::Counter* records_metric = scope.Counter("records");
   for (size_t p = 0; p < nodes; ++p) {
     // The drain loop is a long-lived task collocated with partition p's
-    // holder; errors stick in error_ (feed completion reports them) while
-    // the loop keeps draining so upstream pushes never wedge.
+    // holder. Under the abort policy the first write failure poisons the
+    // holder (blocked producers fail fast instead of wedging against a dead
+    // consumer); under skip/dead-letter the loop keeps draining and applies
+    // the policy per record.
     Status launched = drain_tasks_.Launch(
         &cluster_->node(p).scheduler(),
         [this, p, store_us, commit_us, frames_stored, records_metric]() -> Status {
           obs::Tracer& tracer = obs::Tracer::Default();
+          const uint64_t salt =
+              common::StableHash64(feed_name_) ^ (0x5374ull << 32) ^ p;
+          // Retries or a dead-letter policy need the record again after a
+          // failed attempt; only then pay a copy per attempt (the plain path
+          // keeps the seed's zero-copy move into the LSM).
+          const bool keep_record =
+              config_.max_retries > 0 ||
+              (config_.on_error == OnError::kDeadLetter && dlq_ != nullptr);
           runtime::Frame frame;
           while (holders_[p]->Pop(&frame)) {
+            auto upsert_one = [&](adm::Value& rec) -> Status {
+              Status st;
+              for (uint32_t attempt = 0;; ++attempt) {
+                st = IDEA_FAULT_HIT("storage.apply");
+                if (st.ok()) {
+                  st = dataset_->Upsert(keep_record ? adm::Value(rec)
+                                                    : std::move(rec));
+                }
+                if (st.ok() || st.code() == StatusCode::kAborted ||
+                    attempt >= config_.max_retries) {
+                  return st;
+                }
+                retries_.fetch_add(1, std::memory_order_relaxed);
+                uint64_t us = common::RetryBackoffMicros(config_.retry_backoff_us,
+                                                         attempt, salt);
+                if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+              }
+            };
             auto store = [&]() -> Status {
               std::vector<adm::Value> records;
               IDEA_RETURN_NOT_OK(frame.Decode(&records));
@@ -45,8 +83,20 @@ Status StorageJob::Start() {
               // simulator, so routing reduces to direct upserts.
               double t0 = obs::NowMicros();
               for (auto& rec : records) {
-                IDEA_RETURN_NOT_OK(dataset_->Upsert(std::move(rec)));
-                stored_.fetch_add(1, std::memory_order_relaxed);
+                Status written = upsert_one(rec);
+                if (written.ok()) {
+                  stored_.fetch_add(1, std::memory_order_relaxed);
+                  continue;
+                }
+                if (config_.on_error == OnError::kDeadLetter && dlq_ != nullptr) {
+                  dlq_->Add(DeadLetter{rec.ToString(), "storage", written,
+                                       config_.max_retries + 1});
+                  dead_letters_.fetch_add(1, std::memory_order_relaxed);
+                } else if (config_.on_error == OnError::kSkip) {
+                  skipped_.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                  return written;
+                }
               }
               double t1 = obs::NowMicros();
               store_us->Record(t1 - t0);
@@ -64,7 +114,15 @@ Status StorageJob::Start() {
                                        obs::NowMicros() - t2});
               return flushed;
             };
-            error_.Set(store());
+            Status stored = store();
+            if (!stored.ok()) {
+              error_.Set(stored);
+              if (config_.on_error == OnError::kAbort) {
+                // Dead-node model: stop consuming and fail producers fast.
+                holders_[p]->Abort(stored);
+                break;
+              }
+            }
           }
           return Status::OK();
         });
@@ -75,6 +133,10 @@ Status StorageJob::Start() {
 
 void StorageJob::Close() {
   for (auto& h : holders_) h->Close();
+}
+
+void StorageJob::Abort(Status cause) {
+  for (auto& h : holders_) h->Abort(cause);
 }
 
 void StorageJob::Join() {

@@ -14,6 +14,8 @@
 #include "cluster/cluster_controller.h"
 #include "common/first_error.h"
 #include "common/status.h"
+#include "feed/dead_letter.h"
+#include "feed/feed.h"
 #include "runtime/partition_holder.h"
 #include "runtime/task_scheduler.h"
 #include "storage/lsm_dataset.h"
@@ -22,8 +24,12 @@ namespace idea::feed {
 
 class StorageJob {
  public:
+  /// `config` supplies the failure policy (on_error/max_retries/backoff) for
+  /// write failures and the holder push deadline; `dlq` receives records that
+  /// persistently fail to store under the dead-letter policy.
   StorageJob(std::string feed_name, cluster::Cluster* cluster,
-             std::shared_ptr<storage::LsmDataset> dataset);
+             std::shared_ptr<storage::LsmDataset> dataset,
+             FeedConfig config = FeedConfig(), DeadLetterQueue* dlq = nullptr);
   ~StorageJob();
 
   /// Registers storage partition holders on every node and starts the drain
@@ -32,9 +38,20 @@ class StorageJob {
 
   /// Closes the holders; drain tasks finish after the backlog empties.
   void Close();
+
+  /// Poisons every storage holder with `cause`: queued frames are discarded,
+  /// blocked computing-job pushes fail fast with the cause, drain tasks stop.
+  void Abort(Status cause);
+
   void Join();
 
   uint64_t records_stored() const { return stored_.load(std::memory_order_relaxed); }
+  /// Records dropped by the `skip` policy after write retries were exhausted.
+  uint64_t records_skipped() const { return skipped_.load(std::memory_order_relaxed); }
+  /// Records parked in the DLQ after write retries were exhausted.
+  uint64_t dead_letters() const { return dead_letters_.load(std::memory_order_relaxed); }
+  /// Write retry attempts spent by the drain loops.
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
   /// First storage error (storage failures surface at feed completion).
   Status first_error() const { return error_.Get(); }
 
@@ -46,9 +63,14 @@ class StorageJob {
   std::string feed_name_;
   cluster::Cluster* cluster_;
   std::shared_ptr<storage::LsmDataset> dataset_;
+  FeedConfig config_;
+  DeadLetterQueue* dlq_;
   std::vector<std::shared_ptr<runtime::StoragePartitionHolder>> holders_;
   runtime::TaskGroup drain_tasks_;
   std::atomic<uint64_t> stored_{0};
+  std::atomic<uint64_t> skipped_{0};
+  std::atomic<uint64_t> dead_letters_{0};
+  std::atomic<uint64_t> retries_{0};
   common::FirstError error_;
   bool joined_ = false;
 };

@@ -1,8 +1,10 @@
 #include "instance/instance.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "obs/snapshot.h"
 #include "sqlpp/analyzer.h"
@@ -14,6 +16,14 @@ namespace idea {
 using adm::Value;
 
 Instance::Instance(InstanceOptions options) : options_(options) {
+  // Operators arm fault points for a whole run through the environment, e.g.
+  // IDEA_FAULTS="seed=42;compute.parse=prob:0.01:parse_error". A malformed
+  // spec must not take the instance down; it is reported on stderr instead.
+  Result<int> armed = common::FaultInjector::Default().ArmFromEnv();
+  if (!armed.ok()) {
+    std::fprintf(stderr, "idea: ignoring bad IDEA_FAULTS: %s\n",
+                 armed.status().ToString().c_str());
+  }
   cluster_ = std::make_unique<cluster::Cluster>(options_.cluster);
   afm_ = std::make_unique<feed::ActiveFeedManager>(cluster_.get(), &catalog_, &udfs_);
 }
@@ -106,6 +116,22 @@ Result<adm::Array> Instance::ExecuteStatement(sqlpp::Statement stmt) {
         decl.config.pipeline_depth = std::max<size_t>(
             1, static_cast<size_t>(
                    std::strtoull(get("pipeline-depth").c_str(), nullptr, 10)));
+      }
+      if (!get("on-error").empty()) {
+        IDEA_ASSIGN_OR_RETURN(decl.config.on_error, feed::ParseOnError(get("on-error")));
+      }
+      if (!get("max-retries").empty()) {
+        decl.config.max_retries = static_cast<uint32_t>(
+            std::strtoul(get("max-retries").c_str(), nullptr, 10));
+      }
+      if (!get("retry-backoff-us").empty()) {
+        decl.config.retry_backoff_us =
+            std::strtoull(get("retry-backoff-us").c_str(), nullptr, 10);
+      }
+      if (!get("dlq-capacity").empty()) {
+        decl.config.dlq_capacity = std::max<size_t>(
+            1, static_cast<size_t>(
+                   std::strtoull(get("dlq-capacity").c_str(), nullptr, 10)));
       }
       feed_decls_.emplace(cf.name, std::move(decl));
       return adm::Array{};
@@ -232,6 +258,20 @@ Result<feed::FeedRuntimeStats> Instance::WaitForFeed(const std::string& feed) {
 }
 
 Status Instance::StopFeed(const std::string& feed) { return afm_->StopFeed(feed); }
+
+Result<std::vector<feed::DeadLetter>> Instance::DrainDeadLetters(
+    const std::string& feed) {
+  std::shared_ptr<feed::DeadLetterQueue> dlq = afm_->dead_letter_queue(feed);
+  if (dlq == nullptr) {
+    return Status::NotFound("feed '" + feed + "' has no dead-letter queue");
+  }
+  return dlq->Drain();
+}
+
+size_t Instance::DeadLetterDepth(const std::string& feed) const {
+  std::shared_ptr<feed::DeadLetterQueue> dlq = afm_->dead_letter_queue(feed);
+  return dlq == nullptr ? 0 : dlq->depth();
+}
 
 Status Instance::RegisterNativeUdf(const std::string& qualified,
                                    feed::NativeUdfFactory factory, bool stateful) {

@@ -8,9 +8,12 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "cluster/cluster_controller.h"
 #include "common/status.h"
 #include "feed/active_feed_manager.h"
+#include "feed/dead_letter.h"
 #include "feed/feed.h"
 #include "feed/udf.h"
 #include "sqlpp/ast.h"
@@ -48,6 +51,16 @@ class Instance {
   Result<feed::FeedRuntimeStats> WaitForFeed(const std::string& feed);
 
   Status StopFeed(const std::string& feed);
+
+  /// Drains the feed's dead-letter queue (records parked by the
+  /// `on-error: dead-letter` policy), oldest first. The queue outlives the
+  /// feed run that filled it, so letters can be drained post-mortem. Fails
+  /// with NotFound when the feed never ran under that policy.
+  Result<std::vector<feed::DeadLetter>> DrainDeadLetters(const std::string& feed);
+
+  /// Letters currently parked in the feed's dead-letter queue (0 when the
+  /// feed has none or never ran under the dead-letter policy).
+  size_t DeadLetterDepth(const std::string& feed) const;
 
   // --- programmatic access --------------------------------------------------
 

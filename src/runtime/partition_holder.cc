@@ -1,6 +1,26 @@
 #include "runtime/partition_holder.h"
 
+#include <chrono>
+
+#include "common/fault_injection.h"
+
 namespace idea::runtime {
+
+namespace {
+
+/// Waits on `cv` until `pred` holds, bounding the wait by `deadline_us` when
+/// nonzero. Returns false on deadline expiry with `pred` still false.
+template <typename Pred>
+bool WaitBounded(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                 uint64_t deadline_us, Pred pred) {
+  if (deadline_us == 0) {
+    cv.wait(lock, pred);
+    return true;
+  }
+  return cv.wait_for(lock, std::chrono::microseconds(deadline_us), pred);
+}
+
+}  // namespace
 
 void HolderMetrics::Init(const PartitionHolderId& id, obs::MetricsRegistry* registry) {
   if (registry == nullptr) registry = &obs::MetricsRegistry::Default();
@@ -40,13 +60,21 @@ HolderStats HolderMetrics::View() const {
 }
 
 Status IntakePartitionHolder::Push(std::string raw_record) {
+  IDEA_RETURN_NOT_OK(IDEA_FAULT_HIT("holder.push"));
   std::unique_lock<std::mutex> lock(mu_);
   if (records_.size() >= capacity_ && !eof_) {
     metrics_.blocked_pushes->Increment();
     double start = obs::NowMicros();
-    can_push_.wait(lock, [&] { return records_.size() < capacity_ || eof_; });
+    bool ready = WaitBounded(can_push_, lock, push_deadline_us_.load(),
+                             [&] { return records_.size() < capacity_ || eof_; });
     metrics_.push_block_us->Record(obs::NowMicros() - start);
+    if (!ready) {
+      return Status::TimedOut("push into intake partition holder " +
+                              id_.ToString() + " stalled past deadline" +
+                              " (consumer dead?)");
+    }
   }
+  if (!abort_cause_.ok()) return abort_cause_;
   if (eof_) return Status::Aborted("push into finished intake partition holder");
   records_.push_back(std::move(raw_record));
   metrics_.records_in->Increment();
@@ -64,6 +92,8 @@ void IntakePartitionHolder::PushEof() {
 }
 
 bool IntakePartitionHolder::PullBatch(size_t max_records, std::vector<std::string>* out) {
+  // Pulls report via bool; only delay faults apply here (slow consumer).
+  (void)IDEA_FAULT_HIT("holder.pop");
   std::unique_lock<std::mutex> lock(mu_);
   // Wait for a full batch or EOF (paper §6.1: on EOF the computing job runs
   // with whatever was collected).
@@ -87,6 +117,20 @@ bool IntakePartitionHolder::PullBatch(size_t max_records, std::vector<std::strin
   return true;
 }
 
+void IntakePartitionHolder::Abort(Status cause) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!abort_cause_.ok()) return;  // first abort wins
+  abort_cause_ = cause.ok() ? Status::Aborted("intake holder aborted") : std::move(cause);
+  eof_ = true;  // pending pulls finish with what is queued, then stop
+  can_pull_.notify_all();
+  can_push_.notify_all();
+}
+
+Status IntakePartitionHolder::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abort_cause_;
+}
+
 bool IntakePartitionHolder::ExhaustedForTest() const {
   std::lock_guard<std::mutex> lock(mu_);
   return eof_ && records_.empty();
@@ -95,13 +139,21 @@ bool IntakePartitionHolder::ExhaustedForTest() const {
 HolderStats IntakePartitionHolder::stats() const { return metrics_.View(); }
 
 Status StoragePartitionHolder::Push(Frame frame) {
+  IDEA_RETURN_NOT_OK(IDEA_FAULT_HIT("holder.push"));
   std::unique_lock<std::mutex> lock(mu_);
   if (frames_.size() >= capacity_ && !closed_) {
     metrics_.blocked_pushes->Increment();
     double start = obs::NowMicros();
-    can_push_.wait(lock, [&] { return frames_.size() < capacity_ || closed_; });
+    bool ready = WaitBounded(can_push_, lock, push_deadline_us_.load(),
+                             [&] { return frames_.size() < capacity_ || closed_; });
     metrics_.push_block_us->Record(obs::NowMicros() - start);
+    if (!ready) {
+      return Status::TimedOut("push into storage partition holder " +
+                              id_.ToString() + " stalled past deadline" +
+                              " (consumer dead?)");
+    }
   }
+  if (!abort_cause_.ok()) return abort_cause_;
   if (closed_) return Status::Aborted("push into closed storage partition holder");
   metrics_.records_in->Add(frame.record_count());
   metrics_.pushes->Increment();
@@ -112,6 +164,8 @@ Status StoragePartitionHolder::Push(Frame frame) {
 }
 
 bool StoragePartitionHolder::Pop(Frame* out) {
+  // Pops report via bool; only delay faults apply here (slow consumer).
+  (void)IDEA_FAULT_HIT("holder.pop");
   std::unique_lock<std::mutex> lock(mu_);
   if (frames_.empty() && !closed_) {
     metrics_.blocked_pulls->Increment();
@@ -134,6 +188,24 @@ void StoragePartitionHolder::Close() {
   closed_ = true;
   can_pop_.notify_all();
   can_push_.notify_all();
+}
+
+void StoragePartitionHolder::Abort(Status cause) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!abort_cause_.ok()) return;  // first abort wins
+  abort_cause_ = cause.ok() ? Status::Aborted("storage holder aborted") : std::move(cause);
+  closed_ = true;
+  // Drop queued frames: nothing will drain them, and a full queue would keep
+  // producers blocked even though closed_ wakes them.
+  frames_.clear();
+  metrics_.queue_depth->Set(0);
+  can_pop_.notify_all();
+  can_push_.notify_all();
+}
+
+Status StoragePartitionHolder::first_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abort_cause_;
 }
 
 HolderStats StoragePartitionHolder::stats() const { return metrics_.View(); }

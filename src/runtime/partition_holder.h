@@ -12,6 +12,7 @@
 // per-node PartitionHolderManager so jobs can locate their peers.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -89,13 +90,26 @@ class IntakePartitionHolder {
 
   const PartitionHolderId& id() const { return id_; }
 
-  /// Enqueues one raw record; blocks while the holder is full.
+  /// Enqueues one raw record; blocks while the holder is full — at most
+  /// `push_deadline_us` (TimedOut beyond that; 0 = wait forever). A holder
+  /// aborted mid-wait returns the abort status instead of deadlocking the
+  /// producer against a dead consumer.
   Status Push(std::string raw_record);
   /// Marks end-of-feed: pending pulls complete with what they have.
   void PushEof();
 
+  /// Poisons the holder: waiting/future pushes fail with `cause`, waiting
+  /// pulls drain what is queued and then stop. First abort wins; idempotent.
+  void Abort(Status cause);
+  /// OK, or the first Abort() cause.
+  Status first_error() const;
+
+  /// Bounds how long Push may block on a full queue (0 = forever).
+  void set_push_deadline_us(uint64_t micros) { push_deadline_us_ = micros; }
+
   /// Pulls up to `max_records`, blocking until the batch fills or EOF.
-  /// Returns false when the holder is exhausted (EOF seen and drained).
+  /// Returns false when the holder is exhausted (EOF seen and drained) or
+  /// aborted and drained.
   bool PullBatch(size_t max_records, std::vector<std::string>* out);
 
   bool ExhaustedForTest() const;
@@ -110,6 +124,8 @@ class IntakePartitionHolder {
   std::condition_variable can_pull_;
   std::deque<std::string> records_;
   bool eof_ = false;
+  Status abort_cause_;  // OK until Abort()
+  std::atomic<uint64_t> push_deadline_us_{0};
 };
 
 /// Active holder: computing jobs push enriched frames; the storage job's
@@ -124,10 +140,24 @@ class StoragePartitionHolder {
 
   const PartitionHolderId& id() const { return id_; }
 
+  /// Enqueues one frame; blocks while full — at most `push_deadline_us`
+  /// (TimedOut beyond that; 0 = wait forever). Fails with the abort cause if
+  /// the holder was aborted.
   Status Push(Frame frame);
-  /// Blocks until a frame arrives; false when closed and drained.
+  /// Blocks until a frame arrives; false when closed/aborted and drained.
   bool Pop(Frame* out);
   void Close();
+
+  /// Poisons the holder: like Close(), but pushes fail with `cause` and the
+  /// queue is discarded (a dead storage job must not wedge producers).
+  /// First abort wins; idempotent.
+  void Abort(Status cause);
+  /// OK, or the first Abort() cause.
+  Status first_error() const;
+
+  /// Bounds how long Push may block on a full queue (0 = forever).
+  void set_push_deadline_us(uint64_t micros) { push_deadline_us_ = micros; }
+
   HolderStats stats() const;
 
  private:
@@ -139,6 +169,8 @@ class StoragePartitionHolder {
   std::condition_variable can_pop_;
   std::deque<Frame> frames_;
   bool closed_ = false;
+  Status abort_cause_;  // OK until Abort()
+  std::atomic<uint64_t> push_deadline_us_{0};
 };
 
 /// Per-node registry; jobs locate local partition holders here (paper §5.3).

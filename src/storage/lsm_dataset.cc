@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "common/fault_injection.h"
+
 namespace idea::storage {
 
 using adm::Value;
@@ -87,6 +89,17 @@ Status LsmDataset::WriteLocked(WalRecordType type, Value record) {
     if (type != WalRecordType::kDelete) wrec.record = record;
     IDEA_RETURN_NOT_OK(wal_->Append(wrec));
   }
+  {
+    // Injected crash between the WAL append and the in-memory apply: the
+    // mutation is durable in the log but never reaches the memtable, the
+    // indexes, or the changelog. The seqno is still consumed — exactly the
+    // state WAL replay must repair.
+    Status crash = IDEA_FAULT_HIT("lsm.apply");
+    if (!crash.ok()) {
+      ++next_seqno_;
+      return crash;
+    }
+  }
   if (live) IndexRemoveLocked(existing->record);
   RecordEntry entry;
   entry.seqno = next_seqno_++;
@@ -110,8 +123,7 @@ Status LsmDataset::WriteLocked(WalRecordType type, Value record) {
   }
   memtable_.Put(key, std::move(entry));
   metrics_.writes->Increment();
-  MaybeFlushLocked();
-  return Status::OK();
+  return MaybeFlushLocked();
 }
 
 Status LsmDataset::Insert(Value record) {
@@ -277,8 +289,9 @@ Status LsmDataset::ProbeIndexMbr(const std::string& field, const adm::Rectangle&
   return Status::OK();
 }
 
-void LsmDataset::MaybeFlushLocked() {
-  if (memtable_.ApproximateBytes() < options_.memtable_bytes) return;
+Status LsmDataset::MaybeFlushLocked() {
+  if (memtable_.ApproximateBytes() < options_.memtable_bytes) return Status::OK();
+  IDEA_RETURN_NOT_OK(IDEA_FAULT_HIT("lsm.flush"));
   {
     obs::ScopedLatency timer(metrics_.flush_us);
     components_.push_back(SortedComponent::FromMemTable(next_component_id_++, memtable_));
@@ -294,11 +307,13 @@ void LsmDataset::MaybeFlushLocked() {
     ++stats_.compactions;
     metrics_.compactions->Increment();
   }
+  return Status::OK();
 }
 
 Status LsmDataset::FlushMemTable() {
   std::unique_lock lock(mu_);
   if (memtable_.empty()) return Status::OK();
+  IDEA_RETURN_NOT_OK(IDEA_FAULT_HIT("lsm.flush"));
   obs::ScopedLatency timer(metrics_.flush_us);
   components_.push_back(SortedComponent::FromMemTable(next_component_id_++, memtable_));
   memtable_.Clear();
@@ -310,6 +325,33 @@ Status LsmDataset::FlushMemTable() {
 Status LsmDataset::FlushWal() {
   if (wal_ == nullptr) return Status::OK();
   return wal_->Flush();
+}
+
+Result<std::vector<WalRecord>> LsmDataset::ReadWal() const {
+  std::shared_lock lock(mu_);
+  if (wal_ == nullptr) {
+    return Status::NotFound("dataset '" + name_ + "' has no WAL attached");
+  }
+  return wal_->ReadAll();
+}
+
+Status LsmDataset::ReplayWalRecords(const std::vector<WalRecord>& records) {
+  for (const WalRecord& rec : records) {
+    switch (rec.type) {
+      case WalRecordType::kInsert:
+      case WalRecordType::kUpsert:
+        // Replay-as-upsert: an insert already applied before the crash (or
+        // already replayed) simply overwrites itself with the same bytes.
+        IDEA_RETURN_NOT_OK(Upsert(rec.record));
+        break;
+      case WalRecordType::kDelete: {
+        Status st = Delete(rec.key);
+        if (!st.ok() && st.code() != StatusCode::kNotFound) return st;
+        break;
+      }
+    }
+  }
+  return Status::OK();
 }
 
 DatasetStats LsmDataset::stats() const {

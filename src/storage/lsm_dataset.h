@@ -131,6 +131,18 @@ class LsmDataset {
   /// Group-commits the WAL; storage jobs call this once per stored batch.
   Status FlushWal();
 
+  /// The attached WAL's full contents, oldest first (crash recovery reads the
+  /// survivor's log through this). NotFound when the dataset runs without a
+  /// WAL.
+  Result<std::vector<WalRecord>> ReadWal() const;
+
+  /// Crash recovery: replays a WAL (typically another instance's, read via
+  /// ReadWal after a crash) into this dataset. Inserts and upserts both
+  /// replay as Upserts and deletes ignore NotFound, so replay is idempotent
+  /// on the primary key: applying a log — or a suffix of one — more than
+  /// once converges to the same live set.
+  Status ReplayWalRecords(const std::vector<WalRecord>& records);
+
   DatasetStats stats() const;
   WalStats wal_stats() const;
   size_t ComponentCount() const;
@@ -148,7 +160,7 @@ class LsmDataset {
   const RecordEntry* FindEntryLocked(const adm::Value& key) const;
   void IndexInsertLocked(const adm::Value& record);
   void IndexRemoveLocked(const adm::Value& record);
-  void MaybeFlushLocked();
+  Status MaybeFlushLocked();
   Result<adm::Value> ExtractKey(const adm::Value& record) const;
 
   std::string name_;

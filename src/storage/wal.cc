@@ -2,6 +2,7 @@
 
 #include "adm/serde.h"
 #include "common/bytes.h"
+#include "common/fault_injection.h"
 #include "obs/metrics.h"
 
 namespace idea::storage {
@@ -39,6 +40,8 @@ Result<std::unique_ptr<Wal>> Wal::OpenFile(const std::string& path) {
 }
 
 Status Wal::Append(const WalRecord& rec) {
+  // Injected log-device failure: nothing reaches the log, the write fails.
+  IDEA_RETURN_NOT_OK(IDEA_FAULT_HIT("wal.append"));
   const WalMetrics& metrics = Metrics();
   obs::ScopedLatency timer(metrics.append_us);
   ByteBuffer buf;
@@ -68,6 +71,8 @@ Status Wal::Append(const WalRecord& rec) {
 }
 
 Status Wal::Flush() {
+  // Injected group-commit failure: appended records stay unflushed.
+  IDEA_RETURN_NOT_OK(IDEA_FAULT_HIT("wal.flush"));
   obs::ScopedLatency timer(Metrics().flush_us);
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) {

@@ -350,7 +350,9 @@ TEST_F(FeedPipelineTest, ParseErrorsAreCountedNotFatal) {
   auto stats = afm_->WaitForFeedStats("F");
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->records_ingested, 2u);
-  EXPECT_EQ(stats->parse_errors, 2u);
+  // Lexer failures and datatype rejects are counted apart.
+  EXPECT_EQ(stats->parse_errors, 1u);
+  EXPECT_EQ(stats->validation_errors, 1u);
 }
 
 TEST_F(FeedPipelineTest, FeedCannotStartTwice) {

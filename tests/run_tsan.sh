@@ -1,25 +1,32 @@
 #!/usr/bin/env bash
 # Builds the tree under ThreadSanitizer and runs the concurrency-heavy test
 # binaries (runtime holders/executor, the worker-pool scheduler, the three-job
-# feed pipeline, and the observability primitives). Usage:
+# feed pipeline, the fault-injection machinery, and the observability
+# primitives). Usage:
 #
-#   tests/run_tsan.sh [build-dir]
+#   tests/run_tsan.sh [build-dir [test-binary...]]
 #
-# Pass IDEA_SANITIZE=address through the same CMake option for an ASan run.
+# With no test binaries, the default concurrency suite runs. Pass
+# IDEA_SANITIZE=address (or undefined) through the same CMake option for an
+# ASan/UBSan run.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-${REPO_ROOT}/build-tsan}"
+shift $(( $# > 0 ? 1 : 0 ))
+
+TESTS=("$@")
+if [ ${#TESTS[@]} -eq 0 ]; then
+  TESTS=(runtime_test scheduler_test feed_pipeline_test obs_test
+         sqlpp_delta_refresh_test fault_injection_test feed_fault_test)
+fi
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DIDEA_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target runtime_test scheduler_test feed_pipeline_test obs_test \
-           sqlpp_delta_refresh_test
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target "${TESTS[@]}"
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-for t in runtime_test scheduler_test feed_pipeline_test obs_test \
-         sqlpp_delta_refresh_test; do
+for t in "${TESTS[@]}"; do
   echo "== tsan: ${t} =="
   "${BUILD_DIR}/tests/${t}"
 done
