@@ -19,6 +19,7 @@ using namespace idea;
 using namespace idea::bench;
 
 int main(int argc, char** argv) {
+  MetricsOut metrics_out(argc, argv);
   bool ablate_predeploy = false, ablate_fused = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ablate-predeploy") == 0) ablate_predeploy = true;

@@ -9,7 +9,8 @@
 using namespace idea;
 using namespace idea::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsOut metrics_out(argc, argv);
   SimBench::Options options;
   options.use_cases = EvalUseCases();
   options.base_sizes = EvalBenchSizes();

@@ -48,7 +48,8 @@ size_t UpdateDatasetSize(const workload::RefSizes& sizes, workload::UseCaseId id
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsOut metrics_out(argc, argv);
   const std::vector<double> rates = {0, 1, 10, 50, 100, 200, 400};
   BenchJsonWriter json("fig27");
 

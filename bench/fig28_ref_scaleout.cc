@@ -10,7 +10,8 @@
 using namespace idea;
 using namespace idea::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsOut metrics_out(argc, argv);
   const std::vector<std::pair<size_t, double>> steps = {
       {6, 0.5}, {12, 1.0}, {18, 1.5}, {24, 2.0}};
   BenchJsonWriter json("fig28");

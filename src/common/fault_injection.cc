@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
 
 namespace idea::common {
 
@@ -165,6 +166,9 @@ Status FaultPoint::Fired() {
   if (spec_.delay_us > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(spec_.delay_us));
   }
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventKind::kFaultFire, name_, StatusCodeName(spec_.code),
+      /*node=*/-1, f + 1);
   if (spec_.code == StatusCode::kOk) return Status::OK();
   return Status(spec_.code, "injected fault at '" + name_ + "'");
 }

@@ -1,10 +1,17 @@
 #include "feed/active_feed_manager.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 
+#include "adm/json.h"
 #include "common/virtual_clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/tracer.h"
 
 namespace idea::feed {
 
@@ -86,8 +93,13 @@ Status ActiveFeedManager::StartFeed(StartArgs args) {
     }
     return st;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  feeds_.emplace(name, std::move(feed));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    feeds_.emplace(name, std::move(feed));
+  }
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventKind::kFeedStart, name,
+      "dataset=" + args.connection.dataset);
   return Status::OK();
 }
 
@@ -215,14 +227,53 @@ void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
     holder_summary.blocked_pushes += in.blocked_pushes + st.blocked_pushes;
     holder_summary.blocked_pulls += in.blocked_pulls + st.blocked_pulls;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  feed->stats.intake_queue_high_watermark = holder_summary.intake_queue_high_watermark;
-  feed->stats.storage_queue_high_watermark =
-      holder_summary.storage_queue_high_watermark;
-  feed->stats.blocked_pushes = holder_summary.blocked_pushes;
-  feed->stats.blocked_pulls = holder_summary.blocked_pulls;
-  feed->stats.wall_micros_total = lifetime.ElapsedMicros();
-  feed->finished = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    feed->stats.intake_queue_high_watermark = holder_summary.intake_queue_high_watermark;
+    feed->stats.storage_queue_high_watermark =
+        holder_summary.storage_queue_high_watermark;
+    feed->stats.blocked_pushes = holder_summary.blocked_pushes;
+    feed->stats.blocked_pulls = holder_summary.blocked_pulls;
+    feed->stats.wall_micros_total = lifetime.ElapsedMicros();
+    feed->finished = true;
+  }
+  const Status outcome = feed->final_status.Get();
+  if (outcome.ok()) {
+    obs::FlightRecorder::Default().Record(
+        obs::FlightEventKind::kFeedStop, feed->config.name,
+        "records_ingested=" + std::to_string(feed->stats.records_ingested));
+  } else {
+    obs::FlightRecorder::Default().Record(obs::FlightEventKind::kFeedAbort,
+                                          feed->config.name, outcome.ToString());
+    if (!feed->config.post_mortem_dir.empty()) WritePostMortem(*feed, outcome);
+  }
+}
+
+void ActiveFeedManager::WritePostMortem(const ActiveFeed& feed,
+                                        const Status& outcome) {
+  // Best effort throughout: the post-mortem is forensic output on a path
+  // that is already failing; it must never turn an abort into a hang.
+  ::mkdir(feed.config.post_mortem_dir.c_str(), 0755);
+  const std::string path =
+      feed.config.post_mortem_dir + "/" + feed.config.name + ".postmortem.json";
+  obs::SnapshotExporter exporter(&obs::MetricsRegistry::Default(),
+                                 &obs::Tracer::Default());
+  char ts[64];
+  std::snprintf(ts, sizeof(ts), "%.3f", obs::NowMicros());
+  std::string json = "{\"type\":\"postmortem\",\"feed\":" +
+                     adm::JsonQuote(feed.config.name) +
+                     ",\"status\":" + adm::JsonQuote(outcome.ToString()) +
+                     ",\"ts_us\":" + ts +
+                     ",\"metrics\":" + exporter.RegistryJson() +
+                     ",\"flight_recorder\":" +
+                     obs::FlightRecorder::Default().DumpJson() + "}\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[afm] cannot write post-mortem %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
 }
 
 Status ActiveFeedManager::StopFeed(const std::string& feed_name) {

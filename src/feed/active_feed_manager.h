@@ -90,6 +90,9 @@ class ActiveFeedManager {
   /// Pulls leftover intake batches after a failure so adapters blocked on a
   /// full holder can finish and EOF lands.
   void DrainIntakeBacklog(ActiveFeed* feed);
+  /// Writes the failed feed's post-mortem (final metrics + flight-recorder
+  /// dump) to `<config.post_mortem_dir>/<feed>.postmortem.json`. Best effort.
+  void WritePostMortem(const ActiveFeed& feed, const Status& outcome);
 
   cluster::Cluster* cluster_;
   storage::Catalog* catalog_;

@@ -6,6 +6,7 @@
 
 #include "common/fault_injection.h"
 #include "common/virtual_clock.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "runtime/frame.h"
@@ -217,6 +218,9 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
                               (ticket * 0x9e3779b97f4a7c15ull) ^ p;
         auto backoff = [&](uint32_t attempt) {
           retries.fetch_add(1, std::memory_order_relaxed);
+          obs::FlightRecorder::Default().Record(
+              obs::FlightEventKind::kRetry, feed_name, "compute",
+              static_cast<int>(p), attempt + 1);
           uint64_t us =
               common::RetryBackoffMicros(config.retry_backoff_us, attempt, salt);
           if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));

@@ -1,5 +1,7 @@
 #include "feed/dead_letter.h"
 
+#include "obs/flight_recorder.h"
+
 namespace idea::feed {
 
 DeadLetterQueue::DeadLetterQueue(std::string feed, size_t capacity,
@@ -16,6 +18,10 @@ DeadLetterQueue::DeadLetterQueue(std::string feed, size_t capacity,
 void DeadLetterQueue::Add(DeadLetter letter) {
   std::lock_guard<std::mutex> lock(mu_);
   if (letters_.size() >= capacity_) {
+    obs::FlightRecorder::Default().Record(
+        obs::FlightEventKind::kDlqEviction, feed_,
+        "evicted stage=" + letters_.front().stage, /*node=*/-1,
+        dropped_count_ + 1);
     letters_.pop_front();
     ++dropped_count_;
     dropped_metric_->Increment();

@@ -56,6 +56,12 @@ struct FeedConfig {
   /// longer than this (dead consumer) fails with TimedOut instead of
   /// deadlocking. 0 = wait forever.
   uint64_t holder_push_deadline_us = 120 * 1000 * 1000ull;
+  /// When non-empty, a failed feed writes a post-mortem (final metrics +
+  /// flight-recorder dump, one JSON object) to
+  /// `<post_mortem_dir>/<feed>.postmortem.json` — no live admin endpoint
+  /// required. Set per feed via WITH {"post-mortem-dir": ...} or instance-wide
+  /// via InstanceOptions::post_mortem_dir.
+  std::string post_mortem_dir;
   /// Adapter config passthrough ("adapter-name", "sockets", ...).
   std::map<std::string, std::string> adapter_config;
 };

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/fault_injection.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 
@@ -70,6 +71,9 @@ Status StorageJob::Start() {
                   return st;
                 }
                 retries_.fetch_add(1, std::memory_order_relaxed);
+                obs::FlightRecorder::Default().Record(
+                    obs::FlightEventKind::kRetry, feed_name_, "storage",
+                    static_cast<int>(p), attempt + 1);
                 uint64_t us = common::RetryBackoffMicros(config_.retry_backoff_us,
                                                          attempt, salt);
                 if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));

@@ -4,9 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "adm/json.h"
 #include "common/fault_injection.h"
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
 #include "obs/snapshot.h"
+#include "obs/tracer.h"
 #include "sqlpp/analyzer.h"
 #include "sqlpp/evaluator.h"
 #include "sqlpp/parser.h"
@@ -26,17 +29,153 @@ Instance::Instance(InstanceOptions options) : options_(options) {
   }
   cluster_ = std::make_unique<cluster::Cluster>(options_.cluster);
   afm_ = std::make_unique<feed::ActiveFeedManager>(cluster_.get(), &catalog_, &udfs_);
+  StartTelemetryPlane();
 }
 
 Instance::~Instance() {
+  // Admin handlers reach into the AFM; take the server (then the sampler)
+  // down before the pipeline they observe.
+  if (admin_server_ != nullptr) admin_server_->Stop();
+  if (sampler_ != nullptr) sampler_->Stop();
   // AFM teardown stops any feeds still running.
   afm_.reset();
+}
+
+void Instance::StartTelemetryPlane() {
+  if (options_.enable_sampler) {
+    sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+        &obs::MetricsRegistry::Default(), options_.sampler);
+    Status st = sampler_->Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "idea: sampler disabled: %s\n", st.ToString().c_str());
+      sampler_.reset();
+    }
+  }
+  if (!options_.enable_admin_server) return;
+  admin_server_ = std::make_unique<obs::AdminServer>(options_.admin);
+  admin_server_->Handle("/healthz", [this](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"status\":\"ok\",\"ts_us\":%.3f,\"active_feeds\":%zu}",
+                  obs::NowMicros(), afm_->ActiveFeeds().size());
+    r.body = buf;
+    return r;
+  });
+  admin_server_->Handle("/metrics", [](const obs::HttpRequest&) {
+    obs::SnapshotExporter exporter(&obs::MetricsRegistry::Default(),
+                                   &obs::Tracer::Default());
+    obs::HttpResponse r;
+    r.body = exporter.RegistryJson();
+    return r;
+  });
+  admin_server_->Handle("/metrics.prom", [](const obs::HttpRequest&) {
+    obs::SnapshotExporter exporter(&obs::MetricsRegistry::Default());
+    obs::HttpResponse r;
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = exporter.PrometheusText();
+    return r;
+  });
+  admin_server_->Handle("/traces", [](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.body = obs::SnapshotExporter::ChromeTraceJson(obs::Tracer::Default().Recent());
+    return r;
+  });
+  admin_server_->Handle("/timeseries", [this](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    if (sampler_ != nullptr) {
+      r.body = sampler_->ToJson();
+    } else {
+      r.body = "{\"type\":\"timeseries\",\"enabled\":false,\"series\":{}}";
+    }
+    return r;
+  });
+  admin_server_->Handle("/feeds", [this](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.body = FeedsJson();
+    return r;
+  });
+  admin_server_->Handle("/flightrecorder", [](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.body = obs::FlightRecorder::Default().DumpJson();
+    return r;
+  });
+  Status st = admin_server_->Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "idea: admin server disabled: %s\n",
+                 st.ToString().c_str());
+    admin_server_.reset();
+  }
 }
 
 std::string Instance::DumpMetricsJson() const {
   obs::SnapshotExporter exporter(&obs::MetricsRegistry::Default(),
                                  &obs::Tracer::Default());
   return exporter.SnapshotJsonLines();
+}
+
+std::string Instance::FeedsJson() const {
+  struct DeclView {
+    std::string name;
+    std::string dataset;
+  };
+  std::vector<DeclView> decls;
+  {
+    std::lock_guard<std::mutex> decls_lock(decls_mu_);
+    decls.reserve(feed_decls_.size());
+    for (const auto& [name, decl] : feed_decls_) {
+      decls.push_back({name, decl.connection.dataset});
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", obs::NowMicros());
+  std::string out = "{\"type\":\"feeds\",\"ts_us\":";
+  out += buf;
+  out += ",\"feeds\":{";
+  bool first = true;
+  for (const DeclView& decl : decls) {
+    if (!first) out += ',';
+    first = false;
+    const bool active = afm_->IsActive(decl.name);
+    // GetStats only answers while the feed is active; finished feeds fall
+    // back to their cumulative registry counters (metrics outlive the feed).
+    feed::FeedRuntimeStats stats;
+    if (active) {
+      Result<feed::FeedRuntimeStats> live = afm_->GetStats(decl.name);
+      if (live.ok()) stats = *live;
+    } else {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+      obs::Scope feed_scope(&reg, "idea.feed." + decl.name);
+      obs::Scope compute_scope(&reg, "idea.compute." + decl.name);
+      stats.records_ingested = feed_scope.Counter("records_ingested")->value();
+      stats.computing_jobs = feed_scope.Counter("computing_jobs")->value();
+      stats.dead_letters = feed_scope.Counter("dlq.enqueued")->value();
+      stats.retries = compute_scope.Counter("retries")->value();
+      stats.parse_errors = compute_scope.Counter("parse_errors")->value();
+      stats.validation_errors =
+          compute_scope.Counter("validation_errors")->value();
+      stats.records_skipped = compute_scope.Counter("records_skipped")->value();
+    }
+    const int64_t inflight =
+        obs::MetricsRegistry::Default()
+            .GetGauge("idea.feed." + decl.name + ".inflight_invocations")
+            ->value();
+    out += adm::JsonQuote(decl.name);
+    out += ":{\"dataset\":" + adm::JsonQuote(decl.dataset);
+    out += std::string(",\"active\":") + (active ? "true" : "false");
+    out += ",\"inflight_invocations\":" + std::to_string(inflight);
+    out += ",\"dlq_depth\":" + std::to_string(DeadLetterDepth(decl.name));
+    out += ",\"records_ingested\":" + std::to_string(stats.records_ingested);
+    out += ",\"computing_jobs\":" + std::to_string(stats.computing_jobs);
+    out += ",\"retries\":" + std::to_string(stats.retries);
+    out += ",\"parse_errors\":" + std::to_string(stats.parse_errors);
+    out += ",\"validation_errors\":" + std::to_string(stats.validation_errors);
+    out += ",\"records_skipped\":" + std::to_string(stats.records_skipped);
+    out += ",\"dead_letters\":" + std::to_string(stats.dead_letters);
+    out += '}';
+  }
+  out += "}}";
+  return out;
 }
 
 Result<adm::Array> Instance::ExecuteSqlpp(const std::string& statement) {
@@ -94,6 +233,7 @@ Result<adm::Array> Instance::ExecuteStatement(sqlpp::Statement stmt) {
     }
     case StatementKind::kCreateFeed: {
       const auto& cf = stmt.create_feed;
+      std::lock_guard<std::mutex> decls_lock(decls_mu_);
       if (feed_decls_.count(cf.name) > 0) {
         return Status::AlreadyExists("feed '" + cf.name + "' already exists");
       }
@@ -133,10 +273,14 @@ Result<adm::Array> Instance::ExecuteStatement(sqlpp::Statement stmt) {
             1, static_cast<size_t>(
                    std::strtoull(get("dlq-capacity").c_str(), nullptr, 10)));
       }
+      if (!get("post-mortem-dir").empty()) {
+        decl.config.post_mortem_dir = get("post-mortem-dir");
+      }
       feed_decls_.emplace(cf.name, std::move(decl));
       return adm::Array{};
     }
     case StatementKind::kConnectFeed: {
+      std::lock_guard<std::mutex> decls_lock(decls_mu_);
       auto it = feed_decls_.find(stmt.connect_feed.feed);
       if (it == feed_decls_.end()) {
         return Status::NotFound("unknown feed '" + stmt.connect_feed.feed + "'");
@@ -223,28 +367,36 @@ Status Instance::RunInsert(const sqlpp::InsertStatement& insert) {
 }
 
 Status Instance::StartFeedStatement(const std::string& feed_name) {
-  auto it = feed_decls_.find(feed_name);
-  if (it == feed_decls_.end()) {
-    return Status::NotFound("unknown feed '" + feed_name + "'");
-  }
-  FeedDecl& decl = it->second;
-  if (decl.connection.dataset.empty()) {
-    return Status::InvalidArgument("feed '" + feed_name +
-                                   "' is not connected to a dataset");
-  }
-  feed::AdapterFactory factory = decl.adapter_override;
-  if (!factory) {
-    IDEA_ASSIGN_OR_RETURN(factory, feed::MakeAdapterFactory(decl.config.adapter_config));
-  }
   feed::ActiveFeedManager::StartArgs args;
-  args.config = decl.config;
-  args.connection = decl.connection;
+  feed::AdapterFactory factory;
+  {
+    std::lock_guard<std::mutex> decls_lock(decls_mu_);
+    auto it = feed_decls_.find(feed_name);
+    if (it == feed_decls_.end()) {
+      return Status::NotFound("unknown feed '" + feed_name + "'");
+    }
+    FeedDecl& decl = it->second;
+    if (decl.connection.dataset.empty()) {
+      return Status::InvalidArgument("feed '" + feed_name +
+                                     "' is not connected to a dataset");
+    }
+    args.config = decl.config;
+    args.connection = decl.connection;
+    factory = decl.adapter_override;
+  }
+  if (!factory) {
+    IDEA_ASSIGN_OR_RETURN(factory, feed::MakeAdapterFactory(args.config.adapter_config));
+  }
+  if (args.config.post_mortem_dir.empty()) {
+    args.config.post_mortem_dir = options_.post_mortem_dir;
+  }
   args.adapter_factory = std::move(factory);
   return afm_->StartFeed(std::move(args));
 }
 
 Status Instance::SetFeedAdapterFactory(const std::string& feed,
                                        feed::AdapterFactory factory) {
+  std::lock_guard<std::mutex> decls_lock(decls_mu_);
   auto it = feed_decls_.find(feed);
   if (it == feed_decls_.end()) {
     return Status::NotFound("unknown feed '" + feed + "'");

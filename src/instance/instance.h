@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include <vector>
@@ -16,6 +17,8 @@
 #include "feed/dead_letter.h"
 #include "feed/feed.h"
 #include "feed/udf.h"
+#include "obs/admin_server.h"
+#include "obs/timeseries.h"
 #include "sqlpp/ast.h"
 #include "storage/catalog.h"
 
@@ -24,6 +27,20 @@ namespace idea {
 struct InstanceOptions {
   cluster::ClusterConfig cluster;
   storage::DatasetOptions dataset_defaults;
+  /// Embedded HTTP admin endpoint (GET /healthz, /metrics, /metrics.prom,
+  /// /traces, /timeseries, /feeds, /flightrecorder). Off by default; bind
+  /// address/port come from `admin` (port 0 = ephemeral, read back via
+  /// Instance::admin_port()).
+  bool enable_admin_server = false;
+  obs::AdminServerOptions admin;
+  /// Background time-series sampler feeding /timeseries (rates, queue
+  /// depths, latency p95s). Off by default.
+  bool enable_sampler = false;
+  obs::TimeSeriesOptions sampler;
+  /// Instance-wide default for FeedConfig::post_mortem_dir: feeds that fail
+  /// write a final metrics + flight-recorder snapshot here. Per-feed
+  /// WITH {"post-mortem-dir": ...} overrides it.
+  std::string post_mortem_dir;
 };
 
 class Instance {
@@ -77,22 +94,43 @@ class Instance {
   /// {"type":"trace",...} line per retained batch (see src/obs/snapshot.h).
   std::string DumpMetricsJson() const;
 
+  // --- telemetry plane ------------------------------------------------------
+
+  /// Port the admin server is listening on; 0 when disabled or failed to
+  /// start (the failure is reported on stderr at construction).
+  uint16_t admin_port() const {
+    return admin_server_ == nullptr ? 0 : admin_server_->port();
+  }
+  obs::AdminServer* admin_server() { return admin_server_.get(); }
+  obs::TimeSeriesSampler* sampler() { return sampler_.get(); }
+
+  /// One JSON object describing every declared feed: activity, runtime
+  /// counters, inflight invocations, DLQ depth. Served at /feeds.
+  std::string FeedsJson() const;
+
  private:
   Result<adm::Array> RunQuery(const sqlpp::SelectStatement& query);
   Status RunInsert(const sqlpp::InsertStatement& insert);
   Status StartFeedStatement(const std::string& feed_name);
+
+  void StartTelemetryPlane();
 
   InstanceOptions options_;
   std::unique_ptr<cluster::Cluster> cluster_;
   storage::Catalog catalog_;
   feed::UdfRegistry udfs_;
   std::unique_ptr<feed::ActiveFeedManager> afm_;
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  std::unique_ptr<obs::AdminServer> admin_server_;
 
   struct FeedDecl {
     feed::FeedConfig config;
     feed::FeedConnection connection;
     feed::AdapterFactory adapter_override;
   };
+  /// Guards feed_decls_: the admin server's /feeds handler reads the
+  /// declarations from its own thread.
+  mutable std::mutex decls_mu_;
   std::map<std::string, FeedDecl> feed_decls_;
 };
 

@@ -1,0 +1,270 @@
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace idea::obs {
+
+namespace {
+
+// Enough for any request line + headers an admin client sends; requests
+// exceeding it are rejected rather than buffered.
+constexpr size_t kMaxRequestBytes = 8192;
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+std::string RenderResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    StatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // Client went away; nothing useful to do.
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// Reads until the end of the request headers ("\r\n\r\n") or the size cap.
+/// GET requests carry no body, so the headers are the whole request.
+bool ReadRequestHead(int fd, std::string* out) {
+  char buf[1024];
+  while (out->size() < kMaxRequestBytes) {
+    if (out->find("\r\n\r\n") != std::string::npos) return true;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return out->find("\r\n\r\n") != std::string::npos;
+    }
+    out->append(buf, static_cast<size_t>(n));
+  }
+  return out->find("\r\n\r\n") != std::string::npos;
+}
+
+bool ParseRequestLine(const std::string& head, HttpRequest* request) {
+  const size_t eol = head.find("\r\n");
+  if (eol == std::string::npos) return false;
+  const std::string line = head.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  request->method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    request->path = std::move(target);
+    request->query.clear();
+  } else {
+    request->path = target.substr(0, qmark);
+    request->query = target.substr(qmark + 1);
+  }
+  return !request->path.empty() && request->path[0] == '/';
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerOptions options)
+    : options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+void AdminServer::Handle(const std::string& path, HttpHandler handler) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  handlers_[path] = std::move(handler);
+}
+
+Status AdminServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("admin: server already running on port " +
+                                 std::to_string(port_));
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("admin: socket: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("admin: bad bind address " + options_.host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Status::Internal(std::string("admin: bind: ") +
+                                      std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status s = Status::Internal(std::string("admin: listen: ") +
+                                      std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const Status s = Status::Internal(std::string("admin: getsockname: ") +
+                                      std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+
+  listen_fd_ = fd;
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_requested_.store(true, std::memory_order_release);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_.store(0, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+}
+
+void AdminServer::AcceptLoop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (rc == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    // Bound the time a stalled client can hold the (single) accept thread.
+    timeval tv{/*tv_sec=*/2, /*tv_usec=*/0};
+    ::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    ServeConnection(conn);
+    ::close(conn);
+  }
+}
+
+void AdminServer::ServeConnection(int fd) {
+  std::string head;
+  HttpRequest request;
+  HttpResponse response;
+  if (!ReadRequestHead(fd, &head) || !ParseRequestLine(head, &request)) {
+    response.status = 400;
+    response.body = "{\"error\":\"malformed request\"}";
+  } else if (request.method != "GET") {
+    response.status = 405;
+    response.body = "{\"error\":\"method not allowed\"}";
+  } else {
+    HttpHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(handlers_mu_);
+      auto it = handlers_.find(request.path);
+      if (it != handlers_.end()) handler = it->second;
+    }
+    if (handler) {
+      response = handler(request);
+    } else {
+      response.status = 404;
+      response.body = "{\"error\":\"not found\",\"path\":\"" + request.path +
+                      "\"}";
+    }
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  WriteAll(fd, RenderResponse(response));
+}
+
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("http get: socket: ") +
+                            std::strerror(errno));
+  }
+  timeval tv{/*tv_sec=*/5, /*tv_usec=*/0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("http get: bad host " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status s = Status::Internal(std::string("http get: connect: ") +
+                                      std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  WriteAll(fd, "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                   "\r\nConnection: close\r\n\r\n");
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Internal("http get: truncated response");
+  }
+  const size_t status_eol = raw.find("\r\n");
+  const std::string status_line = raw.substr(0, status_eol);
+  if (status_line.find(" 200 ") == std::string::npos) {
+    return Status::Internal("http get: " + status_line);
+  }
+  return raw.substr(header_end + 4);
+}
+
+}  // namespace idea::obs

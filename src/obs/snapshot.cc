@@ -27,6 +27,24 @@ std::string FmtI64(int64_t v) {
   return buf;
 }
 
+// Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; everything else
+// (notably the dots in idea.<subsystem>.<scope>.<name>) maps to '_'.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = (c >= '0' && c <= '9');
+    if (alpha || c == '_' || c == ':' || (digit && i > 0)) {
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string SnapshotExporter::RegistryJson() const {
@@ -76,6 +94,53 @@ std::string SnapshotExporter::TraceJson(const BatchTrace& trace) {
            ",\"dur_us\":" + FmtDouble(span.dur_us) + "}";
   }
   out += "]}";
+  return out;
+}
+
+std::string SnapshotExporter::PrometheusText() const {
+  RegistrySnapshot snap = registry_->Snapshot();
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + FmtU64(v) + "\n";
+  }
+  for (const auto& [name, g] : snap.gauges) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FmtI64(g.value) + "\n";
+    out += "# TYPE " + prom + "_high_watermark gauge\n";
+    out += prom + "_high_watermark " + FmtI64(g.high_watermark) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " summary\n";
+    out += prom + "{quantile=\"0.5\"} " + FmtDouble(h.p50_us) + "\n";
+    out += prom + "{quantile=\"0.95\"} " + FmtDouble(h.p95_us) + "\n";
+    out += prom + "{quantile=\"0.99\"} " + FmtDouble(h.p99_us) + "\n";
+    out += prom + "_sum " + FmtDouble(h.sum_us) + "\n";
+    out += prom + "_count " + FmtU64(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string SnapshotExporter::ChromeTraceJson(
+    const std::vector<BatchTrace>& traces) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& trace : traces) {
+    for (const auto& span : trace.spans) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"name\":" + adm::JsonQuote(span.name) +
+             ",\"cat\":\"feed\",\"ph\":\"X\",\"ts\":" + FmtDouble(span.start_us) +
+             ",\"dur\":" + FmtDouble(span.dur_us) +
+             ",\"pid\":1,\"tid\":" + std::to_string(span.node < 0 ? 0 : span.node) +
+             ",\"args\":{\"feed\":" + adm::JsonQuote(trace.feed) +
+             ",\"trace_id\":" + FmtU64(trace.id) + "}}";
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
   return out;
 }
 

@@ -35,6 +35,18 @@ class SnapshotExporter {
   /// One "trace" JSON line.
   static std::string TraceJson(const BatchTrace& trace);
 
+  /// Prometheus text exposition (format version 0.0.4) of every metric in the
+  /// registry: counters as `counter`, gauges as `gauge` (plus a companion
+  /// `<name>_high_watermark` gauge), histograms as `summary` with
+  /// quantile 0.5/0.95/0.99 labels and `_sum`/`_count` rows. Metric names are
+  /// sanitized (`.` and other non-identifier characters become `_`).
+  std::string PrometheusText() const;
+
+  /// Chrome `trace_event` JSON ({"traceEvents":[...]}) for the given batch
+  /// timelines, loadable in chrome://tracing or Perfetto. Spans become
+  /// complete ("ph":"X") events with the node as the tid.
+  static std::string ChromeTraceJson(const std::vector<BatchTrace>& traces);
+
   /// Registry line followed by the most recent `max_traces` trace lines.
   std::string SnapshotJsonLines(size_t max_traces = 32) const;
 

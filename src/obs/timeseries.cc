@@ -1,0 +1,171 @@
+#include "obs/timeseries.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+#include "adm/json.h"
+
+namespace idea::obs {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+const char* SeriesKindName(int kind) {
+  switch (kind) {
+    case 0:
+      return "counter";
+    case 1:
+      return "gauge";
+    default:
+      return "histogram_p95";
+  }
+}
+
+}  // namespace
+
+TimeSeriesSampler::TimeSeriesSampler(const MetricsRegistry* registry,
+                                     TimeSeriesOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+TimeSeriesSampler::~TimeSeriesSampler() { Stop(); }
+
+Status TimeSeriesSampler::Start() {
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (running_) return Status::OK();
+  if (options_.period_us <= 0) {
+    return Status::InvalidArgument("timeseries: period_us must be positive");
+  }
+  stop_requested_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { RunLoop(); });
+  return Status::OK();
+}
+
+void TimeSeriesSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  running_ = false;
+}
+
+void TimeSeriesSampler::RunLoop() {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  while (!stop_requested_) {
+    const auto period =
+        std::chrono::microseconds(static_cast<int64_t>(options_.period_us));
+    if (stop_cv_.wait_for(lock, period, [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    SampleOnce(NowMicros());
+    lock.lock();
+  }
+}
+
+bool TimeSeriesSampler::Tracked(const std::string& name) const {
+  if (options_.prefixes.empty()) return true;
+  for (const std::string& prefix : options_.prefixes) {
+    if (name.compare(0, prefix.size(), prefix) == 0) return true;
+  }
+  return false;
+}
+
+void TimeSeriesSampler::Append(const std::string& name, SeriesKind kind,
+                               double now_us, double value) {
+  SeriesRing& ring = series_[name];
+  ring.kind = kind;
+  TimeSeriesPoint point;
+  point.ts_us = now_us;
+  point.value = value;
+  if (kind == SeriesKind::kCounter && ring.has_prev &&
+      now_us > ring.prev_ts_us) {
+    point.rate_per_s =
+        (value - ring.prev_value) / ((now_us - ring.prev_ts_us) / 1e6);
+  }
+  ring.has_prev = true;
+  ring.prev_value = value;
+  ring.prev_ts_us = now_us;
+  ring.points.push_back(point);
+  while (ring.points.size() > options_.capacity) ring.points.pop_front();
+}
+
+void TimeSeriesSampler::SampleOnce(double now_us) {
+  const RegistrySnapshot snapshot = registry_->Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : snapshot.counters) {
+    if (Tracked(name)) {
+      Append(name, SeriesKind::kCounter, now_us, static_cast<double>(value));
+    }
+  }
+  for (const auto& [name, gauge] : snapshot.gauges) {
+    if (Tracked(name)) {
+      Append(name, SeriesKind::kGauge, now_us,
+             static_cast<double>(gauge.value));
+    }
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (Tracked(name)) {
+      Append(name, SeriesKind::kHistogram, now_us, hist.p95_us);
+    }
+  }
+  ++samples_;
+}
+
+uint64_t TimeSeriesSampler::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::vector<TimeSeriesPoint> TimeSeriesSampler::Series(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  return {it->second.points.begin(), it->second.points.end()};
+}
+
+std::string TimeSeriesSampler::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  char buf[64];
+  std::string out = "{\"type\":\"timeseries\",\"ts_us\":" + FmtDouble(NowMicros());
+  out += ",\"period_us\":" + FmtDouble(options_.period_us);
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, samples_);
+  out += ",\"samples\":";
+  out += buf;
+  out += ",\"series\":{";
+  bool first = true;
+  for (const auto& [name, ring] : series_) {
+    if (!first) out += ',';
+    first = false;
+    out += adm::JsonQuote(name);
+    out += ":{\"kind\":";
+    out += adm::JsonQuote(SeriesKindName(static_cast<int>(ring.kind)));
+    out += ",\"points\":[";
+    for (size_t i = 0; i < ring.points.size(); ++i) {
+      const TimeSeriesPoint& p = ring.points[i];
+      if (i) out += ',';
+      out += "{\"ts_us\":" + FmtDouble(p.ts_us);
+      out += ",\"value\":" + FmtDouble(p.value);
+      if (ring.kind == SeriesKind::kCounter) {
+        out += ",\"rate_per_s\":" + FmtDouble(p.rate_per_s);
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace idea::obs

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace idea::obs {
+
+struct TimeSeriesOptions {
+  /// Sampling period. 250ms keeps the registry lock traffic negligible while
+  /// still resolving per-second rate swings.
+  double period_us = 250'000;
+  /// Points retained per series (ring). 240 points @ 250ms = one minute.
+  size_t capacity = 240;
+  /// Metric-name prefixes worth tracking. Everything else in the registry is
+  /// skipped so rings stay small on metric-heavy runs. Empty = track all.
+  std::vector<std::string> prefixes = {
+      "idea.feed.", "idea.intake.", "idea.storage.", "idea.compute.",
+      "idea.sched.", "idea.lsm.",   "idea.wal.",
+  };
+};
+
+struct TimeSeriesPoint {
+  double ts_us = 0;
+  double value = 0;       ///< Counter/gauge value; histogram p95 (µs).
+  double rate_per_s = 0;  ///< Counters only: delta vs. previous sample.
+};
+
+/// Background sampler that snapshots selected counters/gauges/histograms from
+/// a MetricsRegistry on a fixed period into bounded per-series rings, deriving
+/// rates for counters (records/s per feed, ...) and keeping instantaneous
+/// levels for gauges (holder queue depths) and p95s for histograms (scheduler
+/// queue wait). This is the data substrate the ROADMAP's congestion-aware
+/// repartitioning consumes; the admin server exposes it at /timeseries.
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(const MetricsRegistry* registry,
+                             TimeSeriesOptions options = {});
+  ~TimeSeriesSampler();
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Starts the background sampling thread. Idempotent.
+  Status Start();
+  /// Stops and joins the sampling thread. Idempotent; rings survive Stop().
+  void Stop();
+
+  /// Takes one sample at `now_us`. The background thread calls this with
+  /// NowMicros(); tests call it directly with synthetic clocks.
+  void SampleOnce(double now_us);
+
+  uint64_t samples_taken() const;
+  /// Ring for one metric, oldest first. Empty if the metric never matched.
+  std::vector<TimeSeriesPoint> Series(const std::string& name) const;
+
+  /// One JSON object: {"type":"timeseries","series":{name:{...}},...}.
+  std::string ToJson() const;
+
+  const TimeSeriesOptions& options() const { return options_; }
+
+ private:
+  enum class SeriesKind : uint8_t { kCounter, kGauge, kHistogram };
+
+  struct SeriesRing {
+    SeriesKind kind = SeriesKind::kCounter;
+    std::deque<TimeSeriesPoint> points;
+    bool has_prev = false;
+    double prev_value = 0;
+    double prev_ts_us = 0;
+  };
+
+  bool Tracked(const std::string& name) const;
+  void Append(const std::string& name, SeriesKind kind, double now_us,
+              double value);
+  void RunLoop();
+
+  const MetricsRegistry* registry_;
+  const TimeSeriesOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, SeriesRing> series_;
+  uint64_t samples_ = 0;
+
+  std::mutex thread_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace idea::obs

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/fault_injection.h"
+#include "obs/flight_recorder.h"
 
 namespace idea::runtime {
 
@@ -121,6 +122,10 @@ void IntakePartitionHolder::Abort(Status cause) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!abort_cause_.ok()) return;  // first abort wins
   abort_cause_ = cause.ok() ? Status::Aborted("intake holder aborted") : std::move(cause);
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventKind::kHolderAbort, id_.feed,
+      id_.ToString() + ": " + abort_cause_.ToString(),
+      static_cast<int>(id_.partition));
   eof_ = true;  // pending pulls finish with what is queued, then stop
   can_pull_.notify_all();
   can_push_.notify_all();
@@ -194,6 +199,10 @@ void StoragePartitionHolder::Abort(Status cause) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!abort_cause_.ok()) return;  // first abort wins
   abort_cause_ = cause.ok() ? Status::Aborted("storage holder aborted") : std::move(cause);
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventKind::kHolderAbort, id_.feed,
+      id_.ToString() + ": " + abort_cause_.ToString(),
+      static_cast<int>(id_.partition));
   closed_ = true;
   // Drop queued frames: nothing will drain them, and a full queue would keep
   // producers blocked even though closed_ wakes them.

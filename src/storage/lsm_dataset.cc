@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/fault_injection.h"
+#include "obs/flight_recorder.h"
 
 namespace idea::storage {
 
@@ -351,6 +352,10 @@ Status LsmDataset::ReplayWalRecords(const std::vector<WalRecord>& records) {
       }
     }
   }
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventKind::kWalRecovery, name_,
+      "replayed " + std::to_string(records.size()) + " wal records",
+      /*node=*/-1, records.size());
   return Status::OK();
 }
 

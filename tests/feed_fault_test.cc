@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -13,6 +15,7 @@
 #include "common/fault_injection.h"
 #include "common/rng.h"
 #include "feed/active_feed_manager.h"
+#include "obs/flight_recorder.h"
 #include "sqlpp/parser.h"
 #include "workload/usecases.h"
 
@@ -158,6 +161,54 @@ TEST_F(FeedFaultTest, AbortPolicyFailsTheFeedWithoutDeadlocking) {
   ASSERT_FALSE(stats.ok());
   EXPECT_NE(stats.status().ToString().find("injected fault"), std::string::npos)
       << stats.status().ToString();
+}
+
+TEST_F(FeedFaultTest, AbortedFeedWritesAParseablePostMortem) {
+  PipelineEnv env;
+  FaultInjector::Default().Arm("compute.udf", FaultSpec::Always());
+
+  const std::string dir = ::testing::TempDir() + "/idea_postmortem";
+  ActiveFeedManager::StartArgs args;
+  args.config.name = "Doomed";
+  args.config.type_name = "TweetType";
+  args.config.batch_size = 60;
+  args.config.post_mortem_dir = dir;  // on_error defaults to kAbort
+  args.connection.dataset = "EnrichedTweets";
+  args.connection.apply_function = "tweetSafetyCheck";
+  args.adapter_factory = MakeVectorAdapterFactory(MakeTweets(300));
+  ASSERT_TRUE(env.afm->StartFeed(std::move(args)).ok());
+  ASSERT_FALSE(env.afm->WaitForFeedStats("Doomed").ok());
+
+  // The abort left a single-line JSON post-mortem with the final metrics and
+  // the flight-recorder story, ending in the feed's abort event.
+  std::ifstream in(dir + "/Doomed.postmortem.json");
+  ASSERT_TRUE(in.good()) << "missing " << dir << "/Doomed.postmortem.json";
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto parsed = adm::ParseJson(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetField("type")->AsString(), "postmortem");
+  EXPECT_EQ(parsed->GetField("feed")->AsString(), "Doomed");
+  EXPECT_NE(parsed->GetField("status")->AsString().find("injected fault"),
+            std::string::npos);
+  const Value* metrics = parsed->GetField("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->GetField("type")->AsString(), "metrics");
+  ASSERT_NE(metrics->GetField("counters"), nullptr);
+  const Value* flight = parsed->GetField("flight_recorder");
+  ASSERT_NE(flight, nullptr);
+  EXPECT_EQ(flight->GetField("type")->AsString(), "flight_recorder");
+  bool saw_abort = false;
+  for (const Value& ev : flight->GetField("events")->AsArray()) {
+    if (ev.GetField("kind")->AsString() == "feed_abort" &&
+        ev.GetField("scope")->AsString() == "Doomed") {
+      saw_abort = true;
+      EXPECT_NE(ev.GetField("detail")->AsString().find("injected fault"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_abort) << line;
+  std::remove((dir + "/Doomed.postmortem.json").c_str());
 }
 
 TEST_F(FeedFaultTest, StorageFaultsFollowTheSkipPolicy) {
@@ -388,6 +439,30 @@ TEST_F(FeedFaultTest, WalCrashRecoveryIsIdempotentAtRandomKillPoints) {
     ASSERT_TRUE(recovered.ReplayWalRecords(*wal).ok());
     EXPECT_EQ(contents(&recovered), contents(&reference)) << "round " << round;
   }
+
+  // The soak's story survives in the flight recorder: every kill point fired
+  // a fault event and every replay logged a recovery. The dump must be
+  // parseable offline (the crash post-mortem contract).
+  const std::string dump_path = ::testing::TempDir() + "/wal_soak_flight.json";
+  ASSERT_TRUE(obs::FlightRecorder::Default().DumpToFile(dump_path).ok());
+  std::ifstream in(dump_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto parsed = adm::ParseJson(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  size_t fault_fires = 0, recoveries = 0;
+  for (const Value& ev : parsed->GetField("events")->AsArray()) {
+    const std::string kind = ev.GetField("kind")->AsString();
+    if (kind == "fault_fire" && ev.GetField("scope")->AsString() == "lsm.apply") {
+      ++fault_fires;
+    }
+    if (kind == "wal_recovery" && ev.GetField("scope")->AsString() == "rec") {
+      ++recoveries;
+    }
+  }
+  EXPECT_GE(fault_fires, 8u) << line.substr(0, 500);
+  EXPECT_GE(recoveries, 16u) << line.substr(0, 500);  // two replays per round
+  std::remove(dump_path.c_str());
 }
 
 }  // namespace

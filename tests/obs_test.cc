@@ -2,6 +2,7 @@
 // the batch tracer, and the JSON snapshot exporter.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -9,8 +10,10 @@
 #include <vector>
 
 #include "adm/json.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 
 namespace idea::obs {
@@ -74,6 +77,37 @@ TEST(HistogramTest, SingleValue) {
   EXPECT_DOUBLE_EQ(s.min_us, 42);
   EXPECT_DOUBLE_EQ(s.max_us, 42);
   EXPECT_DOUBLE_EQ(s.p50_us, 42);
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram h;
+  // Empty histogram: every quantile is 0, including the clamped extremes.
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(-1.0), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(2.0), 0);
+
+  // Single sample: every quantile is that sample.
+  h.Record(7);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 7);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 7);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.999), 7);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 7);
+
+  // Overflow bucket: values beyond the top bucket's lower bound land in the
+  // top bucket and percentiles stay clamped to the recorded max.
+  Histogram top;
+  const double huge = 9e18;  // >= 2^62, the top bucket's lower bound
+  ASSERT_EQ(Histogram::BucketIndex(huge), Histogram::kBuckets - 1);
+  top.Record(huge);
+  EXPECT_EQ(top.count(), 1u);
+  EXPECT_DOUBLE_EQ(top.max(), huge);
+  EXPECT_DOUBLE_EQ(top.Percentile(1.0), huge);
+  EXPECT_LE(top.Percentile(0.5), top.max());
+  EXPECT_GE(top.Percentile(0.5),
+            static_cast<double>(Histogram::BucketLowerBound(Histogram::kBuckets - 1)));
 }
 
 TEST(GaugeTest, HighWatermark) {
@@ -148,6 +182,251 @@ TEST(TracerTest, SpansAttachToTrace) {
   uint64_t dropped = tracer.StartTrace("F");
   tracer.Drop(dropped);
   EXPECT_FALSE(tracer.Find(dropped, &trace));
+}
+
+TEST(TracerTest, FindAfterEvictionAndDropOfUnknownId) {
+  Tracer tracer(2);
+  uint64_t first = tracer.StartTrace("F");
+  uint64_t second = tracer.StartTrace("F");
+  uint64_t third = tracer.StartTrace("F");  // evicts `first`
+  BatchTrace trace;
+  EXPECT_FALSE(tracer.Find(first, &trace));
+  EXPECT_TRUE(tracer.Find(second, &trace));
+  EXPECT_TRUE(tracer.Find(third, &trace));
+  EXPECT_EQ(tracer.Recent().size(), 2u);
+  // Spans for an evicted id are ignored, not resurrected.
+  tracer.AddSpan(first, Span{"late", 0, 0, 0});
+  EXPECT_FALSE(tracer.Find(first, &trace));
+  EXPECT_EQ(tracer.Recent().size(), 2u);
+  // Dropping an id the ring has never seen (or already evicted) is a no-op.
+  tracer.Drop(first);
+  tracer.Drop(99999);
+  EXPECT_EQ(tracer.Recent().size(), 2u);
+  EXPECT_TRUE(tracer.Find(second, &trace));
+  EXPECT_TRUE(tracer.Find(third, &trace));
+  // Dropping a live id removes exactly that trace.
+  tracer.Drop(second);
+  EXPECT_FALSE(tracer.Find(second, &trace));
+  EXPECT_TRUE(tracer.Find(third, &trace));
+  EXPECT_EQ(tracer.Recent().size(), 1u);
+}
+
+TEST(FlightRecorderTest, RingKeepsNewestAndDumpsParseableJson) {
+  FlightRecorder recorder(4);
+  EXPECT_EQ(recorder.Recent().size(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(FlightEventKind::kRetry, "F", "attempt", i, i);
+  }
+  EXPECT_EQ(recorder.events_recorded(), 10u);
+  std::vector<FlightEvent> events = recorder.Recent();
+  ASSERT_EQ(events.size(), 4u);  // capacity bound; oldest evicted
+  // Oldest-first order over the surviving window (nodes 6, 7, 8, 9).
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].node, static_cast<int>(6 + i));
+    EXPECT_EQ(events[i].kind, FlightEventKind::kRetry);
+    EXPECT_EQ(events[i].scope, "F");
+  }
+  EXPECT_EQ(recorder.Recent(2).size(), 2u);
+  EXPECT_EQ(recorder.Recent(2)[1].node, 9);
+
+  auto dump = adm::ParseJson(recorder.DumpJson());
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_EQ(dump->GetField("type")->AsString(), "flight_recorder");
+  EXPECT_EQ(dump->GetField("events_recorded")->AsInt(), 10);
+  ASSERT_NE(dump->GetField("events"), nullptr);
+  const auto& arr = dump->GetField("events")->AsArray();
+  ASSERT_EQ(arr.size(), 4u);
+  EXPECT_EQ(arr[0].GetField("kind")->AsString(), "retry");
+  EXPECT_EQ(arr[0].GetField("scope")->AsString(), "F");
+
+  recorder.Clear();
+  EXPECT_EQ(recorder.Recent().size(), 0u);
+  EXPECT_EQ(recorder.events_recorded(), 0u);
+}
+
+TEST(FlightRecorderTest, DumpToFileWritesParseableJson) {
+  FlightRecorder recorder(16);
+  recorder.Record(FlightEventKind::kFeedStart, "F", "dataset=D");
+  recorder.Record(FlightEventKind::kFeedAbort, "F", "Internal: boom");
+  std::string path = ::testing::TempDir() + "/flight_recorder_test.json";
+  ASSERT_TRUE(recorder.DumpToFile(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto dump = adm::ParseJson(line);
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString() << "\n" << line;
+  const auto& arr = dump->GetField("events")->AsArray();
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr[0].GetField("kind")->AsString(), "feed_start");
+  EXPECT_EQ(arr[1].GetField("kind")->AsString(), "feed_abort");
+  EXPECT_EQ(arr[1].GetField("detail")->AsString(), "Internal: boom");
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordersKeepCapacityBound) {
+  FlightRecorder recorder(64);
+  constexpr int kThreads = 8;
+  constexpr int kEvents = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kEvents; ++i) {
+        recorder.Record(FlightEventKind::kFaultFire, "p" + std::to_string(t),
+                        "", t, static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(recorder.events_recorded(),
+            static_cast<uint64_t>(kThreads) * kEvents);
+  std::vector<FlightEvent> events = recorder.Recent();
+  EXPECT_LE(events.size(), 64u);
+  EXPECT_GE(events.size(), 1u);
+}
+
+TEST(TimeSeriesTest, SampleOnceDerivesCounterRates) {
+  MetricsRegistry reg;
+  TimeSeriesOptions options;
+  options.capacity = 3;
+  options.prefixes = {"idea.feed."};
+  TimeSeriesSampler sampler(&reg, options);
+
+  Counter* records = reg.GetCounter("idea.feed.F.records_ingested");
+  reg.GetGauge("idea.feed.F.depth")->Set(4);
+  reg.GetHistogram("idea.feed.F.wait_us")->Record(100);
+  reg.GetCounter("idea.other.ignored")->Increment();  // prefix-filtered out
+
+  records->Add(100);
+  sampler.SampleOnce(1'000'000);
+  records->Add(300);
+  sampler.SampleOnce(2'000'000);  // +300 in 1s -> 300/s
+
+  std::vector<TimeSeriesPoint> series =
+      sampler.Series("idea.feed.F.records_ingested");
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].value, 100);
+  EXPECT_DOUBLE_EQ(series[0].rate_per_s, 0);  // no previous sample
+  EXPECT_DOUBLE_EQ(series[1].value, 400);
+  EXPECT_DOUBLE_EQ(series[1].rate_per_s, 300);
+
+  EXPECT_EQ(sampler.Series("idea.other.ignored").size(), 0u);
+  ASSERT_EQ(sampler.Series("idea.feed.F.depth").size(), 2u);
+  EXPECT_DOUBLE_EQ(sampler.Series("idea.feed.F.depth")[0].value, 4);
+  ASSERT_EQ(sampler.Series("idea.feed.F.wait_us").size(), 2u);
+  EXPECT_GT(sampler.Series("idea.feed.F.wait_us")[0].value, 0);  // p95
+
+  // The ring stays bounded at `capacity`, keeping the newest points.
+  sampler.SampleOnce(3'000'000);
+  sampler.SampleOnce(4'000'000);
+  series = sampler.Series("idea.feed.F.records_ingested");
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].ts_us, 2'000'000);
+  EXPECT_EQ(sampler.samples_taken(), 4u);
+}
+
+TEST(TimeSeriesTest, ToJsonParsesAndCarriesSeries) {
+  MetricsRegistry reg;
+  TimeSeriesOptions options;
+  options.prefixes = {};  // track everything
+  TimeSeriesSampler sampler(&reg, options);
+  reg.GetCounter("c")->Add(5);
+  reg.GetGauge("g")->Set(-2);
+  sampler.SampleOnce(1000);
+
+  auto parsed = adm::ParseJson(sampler.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->GetField("type")->AsString(), "timeseries");
+  EXPECT_EQ(parsed->GetField("samples")->AsInt(), 1);
+  const adm::Value* series = parsed->GetField("series");
+  ASSERT_NE(series, nullptr);
+  const adm::Value* c = series->GetField("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->GetField("kind")->AsString(), "counter");
+  ASSERT_EQ(c->GetField("points")->AsArray().size(), 1u);
+  EXPECT_DOUBLE_EQ(c->GetField("points")->AsArray()[0].GetField("value")->AsNumber(), 5);
+  const adm::Value* g = series->GetField("g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->GetField("kind")->AsString(), "gauge");
+  EXPECT_DOUBLE_EQ(g->GetField("points")->AsArray()[0].GetField("value")->AsNumber(), -2);
+}
+
+TEST(TimeSeriesTest, BackgroundThreadSamplesPeriodically) {
+  MetricsRegistry reg;
+  reg.GetCounter("idea.feed.F.records_ingested")->Add(1);
+  TimeSeriesOptions options;
+  options.period_us = 2000;  // 2ms for a fast test
+  TimeSeriesSampler sampler(&reg, options);
+  ASSERT_TRUE(sampler.Start().ok());
+  ASSERT_TRUE(sampler.Start().ok());  // idempotent
+  for (int i = 0; i < 200 && sampler.samples_taken() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sampler.Stop();
+  sampler.Stop();  // idempotent
+  EXPECT_GE(sampler.samples_taken(), 3u);
+  EXPECT_GE(sampler.Series("idea.feed.F.records_ingested").size(), 3u);
+}
+
+TEST(SnapshotTest, PrometheusTextExposition) {
+  MetricsRegistry reg;
+  reg.GetCounter("idea.feed.F.records_ingested")->Add(12);
+  reg.GetGauge("idea.intake.F.p0.queue_depth")->Set(9);
+  reg.GetGauge("idea.intake.F.p0.queue_depth")->Set(3);
+  reg.GetHistogram("idea.sched.sim.queue_wait_us")->Record(100);
+  reg.GetHistogram("idea.sched.sim.queue_wait_us")->Record(200);
+
+  SnapshotExporter exporter(&reg);
+  std::string text = exporter.PrometheusText();
+
+  // Counters: sanitized name, TYPE line, value.
+  EXPECT_NE(text.find("# TYPE idea_feed_F_records_ingested counter\n"
+                      "idea_feed_F_records_ingested 12\n"),
+            std::string::npos)
+      << text;
+  // Gauges: value plus a companion high-watermark gauge.
+  EXPECT_NE(text.find("idea_intake_F_p0_queue_depth 3\n"), std::string::npos);
+  EXPECT_NE(text.find("idea_intake_F_p0_queue_depth_high_watermark 9\n"),
+            std::string::npos);
+  // Histograms: summary with quantile labels and _sum/_count rows.
+  EXPECT_NE(text.find("# TYPE idea_sched_sim_queue_wait_us summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("idea_sched_sim_queue_wait_us{quantile=\"0.5\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("idea_sched_sim_queue_wait_us{quantile=\"0.95\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("idea_sched_sim_queue_wait_us{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(text.find("idea_sched_sim_queue_wait_us_sum 300.000\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("idea_sched_sim_queue_wait_us_count 2\n"),
+            std::string::npos);
+  // No unsanitized dots survive in metric names.
+  EXPECT_EQ(text.find("idea.feed"), std::string::npos);
+}
+
+TEST(SnapshotTest, ChromeTraceJsonExport) {
+  Tracer tracer;
+  uint64_t id = tracer.StartTrace("F");
+  tracer.AddSpan(id, Span{"intake.pull", 0, 10.0, 2.5});
+  tracer.AddSpan(id, Span{"compute.enrich", 2, 12.5, 7.5});
+
+  std::string json = SnapshotExporter::ChromeTraceJson(tracer.Recent());
+  auto parsed = adm::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json;
+  const adm::Value* events = parsed->GetField("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->AsArray().size(), 2u);
+  const adm::Value& ev = events->AsArray()[1];
+  EXPECT_EQ(ev.GetField("name")->AsString(), "compute.enrich");
+  EXPECT_EQ(ev.GetField("ph")->AsString(), "X");
+  EXPECT_DOUBLE_EQ(ev.GetField("ts")->AsNumber(), 12.5);
+  EXPECT_DOUBLE_EQ(ev.GetField("dur")->AsNumber(), 7.5);
+  EXPECT_EQ(ev.GetField("tid")->AsInt(), 2);
+  EXPECT_EQ(ev.GetField("args")->GetField("feed")->AsString(), "F");
+  // Empty ring still yields a valid, loadable document.
+  auto empty = adm::ParseJson(SnapshotExporter::ChromeTraceJson({}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->GetField("traceEvents")->AsArray().size(), 0u);
 }
 
 TEST(SnapshotTest, JsonRoundTrip) {

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Builds the tree under ThreadSanitizer and runs the concurrency-heavy test
 # binaries (runtime holders/executor, the worker-pool scheduler, the three-job
-# feed pipeline, the fault-injection machinery, and the observability
-# primitives). Usage:
+# feed pipeline, the fault-injection machinery, the observability primitives,
+# and the admin server / sampler / flight-recorder telemetry plane). Usage:
 #
 #   tests/run_tsan.sh [build-dir [test-binary...]]
 #
@@ -18,7 +18,8 @@ shift $(( $# > 0 ? 1 : 0 ))
 TESTS=("$@")
 if [ ${#TESTS[@]} -eq 0 ]; then
   TESTS=(runtime_test scheduler_test feed_pipeline_test obs_test
-         sqlpp_delta_refresh_test fault_injection_test feed_fault_test)
+         admin_server_test sqlpp_delta_refresh_test fault_injection_test
+         feed_fault_test)
 fi
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DIDEA_SANITIZE=thread \
