@@ -54,5 +54,34 @@ int main(int argc, char** argv) {
     run("DynSQL-16X", true, false, 16);
     PrintRow(row, 16);
   }
+
+  // Single-node record-path acceptance: DynSQL-4X with every analytic cost
+  // adder zeroed, so the series measures CPU on the record path alone
+  // (parse -> frame -> enrich -> store). Directly comparable against the
+  // pre-refactor BENCH_fig25_prerefactor.json numbers.
+  PrintHeader("Single-node record path (zero-copy frames, batch eval)",
+              "throughput in records/second, measured CPU only");
+  PrintRow({"use case", "DynSQL-4X"}, 18);
+  for (auto id : EvalUseCases()) {
+    const auto& uc = workload::GetUseCase(id);
+    feed::SimConfig config;
+    config.nodes = 1;
+    config.dynamic = true;
+    config.batch_size = kBatch4X;
+    cluster::CostModelConfig cm;
+    cm.job_start_fixed_us = 0;
+    cm.job_start_per_node_us = 0;
+    cm.compile_us = 0;
+    cm.network_per_kib_us = 0;
+    cm.log_flush_us = 0;
+    cm.cpu_scale = 1.0;
+    cm.intake_per_record_us = 0;
+    config.costs = cm;
+    config.udf = uc.function_name;
+    config.use_native = false;
+    feed::SimReport r = bench.Run(config);
+    json.Add(uc.name + std::string("/1node/DynSQL-4X-zerocopy"), config, r);
+    PrintRow({uc.name, Fmt(r.throughput_rps, "%.0f")}, 18);
+  }
   return 0;
 }

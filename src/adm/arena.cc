@@ -1,0 +1,71 @@
+#include "adm/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace idea::adm {
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  while (current_ < blocks_.size()) {
+    Block& b = blocks_[current_];
+    size_t aligned = (b.used + align - 1) & ~(align - 1);
+    if (aligned + bytes <= b.size) {
+      b.used = aligned + bytes;
+      bytes_used_ += bytes;
+      return b.data.get() + aligned;
+    }
+    ++current_;
+  }
+  size_t block_size = std::max(kMinBlockBytes, bytes + align);
+  if (!blocks_.empty()) block_size = std::max(block_size, blocks_.back().size * 2);
+  Block b;
+  b.data = std::make_unique<uint8_t[]>(block_size);
+  b.size = block_size;
+  size_t aligned = 0;  // fresh blocks are max-aligned by operator new[]
+  b.used = aligned + bytes;
+  bytes_used_ += bytes;
+  blocks_.push_back(std::move(b));
+  current_ = blocks_.size() - 1;
+  return blocks_.back().data.get() + aligned;
+}
+
+void Arena::Reset() {
+  for (Block& b : blocks_) b.used = 0;
+  current_ = 0;
+  bytes_used_ = 0;
+  // Containers still checked out by callers stay checked out; Reset only
+  // guarantees bump memory is rewound.
+}
+
+std::vector<Value>* Arena::AcquireValueVec() {
+  if (!free_value_vecs_.empty()) {
+    std::vector<Value>* v = free_value_vecs_.back();
+    free_value_vecs_.pop_back();
+    return v;
+  }
+  value_vecs_.emplace_back();
+  return &value_vecs_.back();
+}
+
+void Arena::ReleaseValueVec(std::vector<Value>* v) {
+  v->clear();
+  free_value_vecs_.push_back(v);
+}
+
+std::string* Arena::AcquireString() {
+  if (!free_strings_.empty()) {
+    std::string* s = free_strings_.back();
+    free_strings_.pop_back();
+    return s;
+  }
+  strings_.emplace_back();
+  return &strings_.back();
+}
+
+void Arena::ReleaseString(std::string* s) {
+  s->clear();
+  free_strings_.push_back(s);
+}
+
+}  // namespace idea::adm

@@ -1,0 +1,77 @@
+// Batch-lifetime scratch memory. One Arena lives for the duration of a batch
+// (a computing-job invocation, an EnrichBatch call, a parser run over a batch
+// of raw records); per-record temporaries are carved out of it and the whole
+// thing is recycled with Reset() instead of returning every allocation to the
+// global heap.
+//
+// Two facilities share the Arena because they share a lifetime, not an
+// implementation:
+//   - Allocate(): a chunked bump allocator for raw byte scratch (parser
+//     unescape buffers, serializer staging). Reset() rewinds the bump pointer
+//     but keeps the blocks, so a warmed-up arena allocates without touching
+//     malloc. Allocations are trivially destroyed — never place objects with
+//     non-trivial destructors in bump memory.
+//   - Acquire*/Release* container pools: recycled std::vector<Value> /
+//     std::string scratch whose heap capacity survives both Release and
+//     Reset. Acquire returns a cleared container; Release clears it (running
+//     element destructors) and returns it to the free list.
+//
+// Not thread-safe: one Arena per worker, same as the Evaluator it feeds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adm/value.h"
+
+namespace idea::adm {
+
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align`. Valid until Reset().
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Rewinds all bump allocations and returns pooled containers' contents to
+  /// a reusable state. Capacity (blocks, container buffers) is retained.
+  void Reset();
+
+  size_t bytes_used() const { return bytes_used_; }
+  size_t block_count() const { return blocks_.size(); }
+
+  /// Pooled Value-vector scratch (UDF argument lists, aggregate item lists).
+  std::vector<Value>* AcquireValueVec();
+  void ReleaseValueVec(std::vector<Value>* v);
+
+  /// Pooled string scratch (parser unescape staging).
+  std::string* AcquireString();
+  void ReleaseString(std::string* s);
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  static constexpr size_t kMinBlockBytes = 4096;
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;  // index of the block being bumped
+  size_t bytes_used_ = 0;
+
+  // Deques give the pooled containers stable addresses across growth.
+  std::deque<std::vector<Value>> value_vecs_;
+  std::vector<std::vector<Value>*> free_value_vecs_;
+  std::deque<std::string> strings_;
+  std::vector<std::string*> free_strings_;
+};
+
+}  // namespace idea::adm

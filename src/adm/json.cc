@@ -65,12 +65,12 @@ class JsonParser {
     while (true) {
       SkipWs();
       if (pos_ >= text_.size() || text_[pos_] != '"') return Err("expected field name");
-      IDEA_ASSIGN_OR_RETURN(Value name, ParseString());
+      IDEA_ASSIGN_OR_RETURN(std::string name, ParseRawString());
       SkipWs();
       if (pos_ >= text_.size() || text_[pos_] != ':') return Err("expected ':'");
       ++pos_;
       IDEA_ASSIGN_OR_RETURN(Value val, ParseValue());
-      fields.emplace_back(name.AsString(), std::move(val));
+      fields.emplace_back(std::move(name), std::move(val));
       SkipWs();
       if (pos_ >= text_.size()) return Err("unterminated object");
       if (text_[pos_] == ',') {
@@ -111,16 +111,27 @@ class JsonParser {
   }
 
   Result<Value> ParseString() {
+    IDEA_ASSIGN_OR_RETURN(std::string s, ParseRawString());
+    return Value::MakeString(std::move(s));
+  }
+
+  Result<std::string> ParseRawString() {
     ++pos_;  // '"'
     std::string out;
     while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (c == '"') {
+      // Bulk-copy the run up to the next quote or escape; most strings have
+      // no escapes at all and finish in one append.
+      size_t run = pos_;
+      while (run < text_.size() && text_[run] != '"' && text_[run] != '\\') ++run;
+      out.append(text_, pos_, run - pos_);
+      pos_ = run;
+      if (pos_ >= text_.size()) break;
+      if (text_[pos_] == '"') {
         ++pos_;
-        return Value::MakeString(std::move(out));
+        return out;
       }
-      if (c == '\\') {
-        ++pos_;
+      {
+        ++pos_;  // '\\'
         if (pos_ >= text_.size()) return Err("unterminated escape");
         char e = text_[pos_++];
         switch (e) {
@@ -183,10 +194,7 @@ class JsonParser {
           default:
             return Err("bad escape character");
         }
-        continue;
       }
-      out.push_back(c);
-      ++pos_;
     }
     return Err("unterminated string");
   }
@@ -231,19 +239,24 @@ class JsonParser {
         break;
       }
     }
-    std::string tok = text_.substr(start, pos_ - start);
+    // Convert in place: text_ is NUL-terminated, and strto* stop at the same
+    // boundary the scan above found, so no substring copy is needed.
+    const char* tok = text_.c_str() + start;
+    const char* tok_end = text_.c_str() + pos_;
     if (!is_double) {
       errno = 0;
       char* end = nullptr;
-      long long v = std::strtoll(tok.c_str(), &end, 10);
-      if (errno == 0 && end == tok.c_str() + tok.size()) {
+      long long v = std::strtoll(tok, &end, 10);
+      if (errno == 0 && end == tok_end) {
         return Value::MakeInt(static_cast<int64_t>(v));
       }
       // Falls through to double on overflow.
     }
     char* end = nullptr;
-    double d = std::strtod(tok.c_str(), &end);
-    if (end != tok.c_str() + tok.size()) return Err("malformed number '" + tok + "'");
+    double d = std::strtod(tok, &end);
+    if (end != tok_end) {
+      return Err("malformed number '" + std::string(tok, tok_end) + "'");
+    }
     return Value::MakeDouble(d);
   }
 

@@ -28,6 +28,7 @@ class ByteBuffer {
 
   const uint8_t* data() const { return data_.data(); }
   size_t size() const { return data_.size(); }
+  void Reserve(size_t bytes) { data_.reserve(bytes); }
   void Clear() { data_.clear(); }
   std::vector<uint8_t> Release() { return std::move(data_); }
   const std::vector<uint8_t>& bytes() const { return data_; }

@@ -136,7 +136,7 @@ Result<SimReport> FeedSimulation::Run(const SimConfig& config,
       if (plan != nullptr) {
         IDEA_ASSIGN_OR_RETURN(record, plan->EnrichOne(record));
       } else if (native != nullptr) {
-        IDEA_ASSIGN_OR_RETURN(record, native->Evaluate({record}));
+        IDEA_ASSIGN_OR_RETURN(record, native->Evaluate(sqlpp::ArgView(&record, 1)));
       }
     }
     double enrich_cpu = costs.ScaleCpu(enrich_timer.ElapsedMicros());
@@ -237,7 +237,7 @@ Result<SimReport> FeedSimulation::Run(const SimConfig& config,
     } else if (native != nullptr) {
       enriched.reserve(parsed.size());
       for (const auto& rec : parsed) {
-        IDEA_ASSIGN_OR_RETURN(Value v, native->Evaluate({rec}));
+        IDEA_ASSIGN_OR_RETURN(Value v, native->Evaluate(sqlpp::ArgView(&rec, 1)));
         enriched.push_back(std::move(v));
       }
     } else {

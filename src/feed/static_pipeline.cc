@@ -98,7 +98,7 @@ Status StaticFeedPipeline::Start(StartArgs args) {
             if (node->plan != nullptr) {
               IDEA_ASSIGN_OR_RETURN(record, node->plan->EnrichOne(record));
             } else if (node->native != nullptr) {
-              IDEA_ASSIGN_OR_RETURN(record, node->native->Evaluate({record}));
+              IDEA_ASSIGN_OR_RETURN(record, node->native->Evaluate(sqlpp::ArgView(&record, 1)));
             }
             IDEA_RETURN_NOT_OK(dataset->Upsert(std::move(record)));
             stored_.fetch_add(1, std::memory_order_relaxed);

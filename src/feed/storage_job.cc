@@ -80,13 +80,14 @@ Status StorageJob::Start() {
               }
             };
             auto store = [&]() -> Status {
-              std::vector<adm::Value> records;
-              IDEA_RETURN_NOT_OK(frame.Decode(&records));
               // Hash partitioner: records are routed to their storage partition
               // by primary key; partitions share one LSM store in this
-              // simulator, so routing reduces to direct upserts.
+              // simulator, so routing reduces to direct upserts. Records are
+              // materialized one at a time straight off the frame bytes.
+              runtime::FrameView view(frame);
               double t0 = obs::NowMicros();
-              for (auto& rec : records) {
+              for (size_t i = 0; i < view.size(); ++i) {
+                IDEA_ASSIGN_OR_RETURN(adm::Value rec, view[i].Decode());
                 Status written = upsert_one(rec);
                 if (written.ok()) {
                   stored_.fetch_add(1, std::memory_order_relaxed);
@@ -106,7 +107,7 @@ Status StorageJob::Start() {
               store_us->Record(t1 - t0);
               tracer.AddSpan(frame.trace_id(), obs::Span{"storage.store",
                                                          static_cast<int>(p), t0, t1 - t0});
-              records_metric->Add(records.size());
+              records_metric->Add(view.size());
               frames_stored->Increment();
               // Group commit: the batch is durable once the log flush returns
               // (paper §5.2).

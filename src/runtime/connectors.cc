@@ -86,6 +86,16 @@ Status Router::Emit(size_t target, const adm::Value& record) {
   return Status::OK();
 }
 
+Status Router::EmitView(size_t target, const RecordView& view) {
+  Frame& f = pending_[target];
+  f.AppendRecord(view);
+  if (f.byte_size() >= frame_bytes_) {
+    IDEA_RETURN_NOT_OK(targets_[target]->Push(std::move(f)));
+    f = Frame();
+  }
+  return Status::OK();
+}
+
 Status Router::RouteRecord(const adm::Value& record) {
   switch (type_) {
     case ConnectorType::kOneToOne:
@@ -111,12 +121,46 @@ Status Router::RouteRecord(const adm::Value& record) {
 }
 
 Status Router::Route(const Frame& frame) {
-  std::vector<adm::Value> records;
-  IDEA_RETURN_NOT_OK(frame.Decode(&records));
-  for (const auto& r : records) {
-    IDEA_RETURN_NOT_OK(RouteRecord(r));
+  // Zero-copy path: forwarded records hop between frames as raw byte copies
+  // (the source frame's field index is rebased, never re-derived). Only the
+  // hash connector materializes each record, and only to compute the
+  // partitioning key — the forwarded bytes are still never re-serialized.
+  FrameView view(frame);
+  switch (type_) {
+    case ConnectorType::kOneToOne: {
+      size_t t = self_partition_ % targets_.size();
+      for (size_t i = 0; i < view.size(); ++i) {
+        IDEA_RETURN_NOT_OK(EmitView(t, view[i]));
+      }
+      return Status::OK();
+    }
+    case ConnectorType::kRoundRobin: {
+      for (size_t i = 0; i < view.size(); ++i) {
+        size_t t = rr_next_;
+        rr_next_ = (rr_next_ + 1) % targets_.size();
+        IDEA_RETURN_NOT_OK(EmitView(t, view[i]));
+      }
+      return Status::OK();
+    }
+    case ConnectorType::kHashPartition: {
+      for (size_t i = 0; i < view.size(); ++i) {
+        IDEA_ASSIGN_OR_RETURN(adm::Value rec, view[i].Decode());
+        adm::Value key = key_ ? key_(rec) : std::move(rec);
+        size_t t = static_cast<size_t>(adm::Value::Hash(key) % targets_.size());
+        IDEA_RETURN_NOT_OK(EmitView(t, view[i]));
+      }
+      return Status::OK();
+    }
+    case ConnectorType::kBroadcast: {
+      for (size_t i = 0; i < view.size(); ++i) {
+        for (size_t t = 0; t < targets_.size(); ++t) {
+          IDEA_RETURN_NOT_OK(EmitView(t, view[i]));
+        }
+      }
+      return Status::OK();
+    }
   }
-  return Status::OK();
+  return Status::Internal("unknown connector type");
 }
 
 Status Router::Flush() {

@@ -74,6 +74,7 @@ class Router {
 
  private:
   Status Emit(size_t target, const adm::Value& record);
+  Status EmitView(size_t target, const RecordView& view);
 
   ConnectorType type_;
   std::vector<std::shared_ptr<FrameQueue>> targets_;

@@ -119,9 +119,11 @@ Result<JobRunStats> JobExecutor::Run(const JobSpecification& spec) {
           IDEA_RETURN_NOT_OK(op->Open(ctx));
           Frame frame;
           while (queues[s][p]->Pop(&frame)) {
-            std::vector<adm::Value> records;
-            IDEA_RETURN_NOT_OK(frame.Decode(&records));
-            for (const auto& rec : records) {
+            // Stream records out of the frame one at a time; only the record
+            // currently in Process() is materialized.
+            FrameView view(frame);
+            for (size_t i = 0; i < view.size(); ++i) {
+              IDEA_ASSIGN_OR_RETURN(adm::Value rec, view[i].Decode());
               IDEA_RETURN_NOT_OK(op->Process(rec, emit));
             }
           }

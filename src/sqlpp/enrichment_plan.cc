@@ -44,6 +44,11 @@ struct EnrichmentPlan::PathImpl : public FromAccessPath {
   std::string dataset;
   std::string ref_field;             // key/geometry field of the reference dataset
   const Expr* probe_expr = nullptr;  // borrowed from the plan-owned body AST
+  /// The WHERE equality conjunct a hash build+probe selects candidates by.
+  /// Candidate selection (Value::Compare on a non-unknown probe key against
+  /// build keys that skip unknowns) is exactly the conjunct's `=` semantics,
+  /// so the evaluator may treat it as true for every emitted candidate.
+  const Expr* satisfied_conjunct = nullptr;
   /// Spatial probes matched from spatial_intersect(create_circle(ref.field, R),
   /// <outer>) expand the outer geometry's MBR by R before the R-tree search.
   double mbr_expand = 0;
@@ -70,6 +75,66 @@ struct EnrichmentPlan::PathImpl : public FromAccessPath {
   std::string pk_field;
   std::shared_ptr<IndexProbe> index;
   std::vector<Value> scratch;  // owns index-probe results between calls
+
+  /// Delta-aware probe memo (index nested loops only). Keyed by the probe key
+  /// (B-tree) or the expanded query MBR (R-tree); entries own deep copies of
+  /// the live-probe results. Validity is tied to the reference dataset's
+  /// mutation sequence: every GetCandidates compares CurrentSeq against the
+  /// memo's sequence and drops the memo when it moved, so a hit is
+  /// bit-identical to the live probe it replaced (paper §7.3's mid-job update
+  /// visibility is preserved). Unversioned accessors disable the memo —
+  /// without a sequence there is no way to observe invalidation.
+  struct ProbeCacheEntry {
+    Value key;
+    std::vector<Value> records;
+  };
+  std::unordered_map<uint64_t, std::vector<ProbeCacheEntry>> probe_cache;
+  uint64_t probe_cache_seq = DatasetAccessor::kUnversioned;
+  size_t probe_cache_bytes = 0;
+
+  void DropProbeCache() {
+    probe_cache.clear();
+    probe_cache_bytes = 0;
+    probe_cache_seq = DatasetAccessor::kUnversioned;
+  }
+
+  /// True when the memo may serve/accept entries at the dataset's current
+  /// sequence (dropping any entries from an older one).
+  bool ProbeCacheReady() {
+    if (!config->enable_probe_cache) return false;
+    uint64_t cur = datasets->CurrentSeq(dataset);
+    if (cur == DatasetAccessor::kUnversioned) {
+      if (!probe_cache.empty()) DropProbeCache();
+      return false;
+    }
+    if (cur != probe_cache_seq) {
+      DropProbeCache();
+      probe_cache_seq = cur;
+    }
+    return true;
+  }
+
+  /// Memoized results for `key`, or nullptr on miss. The returned records
+  /// have stable addresses: bucket growth and map rehash move the entry
+  /// objects but not the vectors' element storage.
+  const std::vector<Value>* ProbeCacheLookup(const Value& key) const {
+    auto it = probe_cache.find(Value::Hash(key));
+    if (it == probe_cache.end()) return nullptr;
+    for (const ProbeCacheEntry& e : it->second) {
+      if (Value::Compare(e.key, key) == 0) return &e.records;
+    }
+    return nullptr;
+  }
+
+  /// Memoizes one probe's results; a no-op once the byte budget is reached
+  /// (under skew the hot keys are cached first, which is where the win is).
+  void ProbeCacheInsert(const Value& key, const std::vector<Value>& records) {
+    size_t bytes = key.EstimateSize() + 48;
+    for (const Value& r : records) bytes += r.EstimateSize();
+    if (probe_cache_bytes + bytes > config->probe_cache_max_bytes) return;
+    probe_cache_bytes += bytes;
+    probe_cache[Value::Hash(key)].push_back(ProbeCacheEntry{key, records});
+  }
 
   static size_t HashEntryBytes(const Value& key) {
     return key.EstimateSize() + sizeof(void*) + 16;
@@ -187,7 +252,11 @@ struct EnrichmentPlan::PathImpl : public FromAccessPath {
     if (kind == AccessPathKind::kIndexNestedLoopEq ||
         kind == AccessPathKind::kIndexNestedLoopSpatial) {
       // Index nested loops probe the live index; there is no cached state to
-      // refresh, only the (O(1)) re-resolution of the probe handle.
+      // refresh, only the (O(1)) re-resolution of the probe handle. The probe
+      // memo is per-invocation: drop it here rather than trusting a sequence
+      // across a handle re-resolution (a dropped-and-recreated dataset could
+      // reuse a sequence number).
+      DropProbeCache();
       index = datasets->GetIndexProbe(dataset, ref_field);
       if (index == nullptr) {
         return Status::Internal("planned index on " + dataset + "." + ref_field +
@@ -253,42 +322,80 @@ struct EnrichmentPlan::PathImpl : public FromAccessPath {
         return Status::OK();
       }
       case AccessPathKind::kHashBuildProbe: {
-        IDEA_ASSIGN_OR_RETURN(Value key, ev->Eval(*probe_expr, env));
-        if (key.IsUnknown()) return Status::OK();
-        auto it = hash.find(Value::Hash(key));
+        Value key_scratch;
+        IDEA_ASSIGN_OR_RETURN(const Value* key,
+                              ev->EvalRef(*probe_expr, env, &key_scratch));
+        if (key->IsUnknown()) return Status::OK();
+        auto it = hash.find(Value::Hash(*key));
         if (it == hash.end()) return Status::OK();
         for (const HashEntry& e : it->second) {
-          if (Value::Compare(e.key, key) == 0) out->push_back(e.rec);
+          if (Value::Compare(e.key, *key) == 0) out->push_back(e.rec);
         }
         return Status::OK();
       }
       case AccessPathKind::kIndexNestedLoopEq: {
-        IDEA_ASSIGN_OR_RETURN(Value key, ev->Eval(*probe_expr, env));
-        if (key.IsUnknown()) return Status::OK();
+        Value key_scratch;
+        IDEA_ASSIGN_OR_RETURN(const Value* key,
+                              ev->EvalRef(*probe_expr, env, &key_scratch));
+        if (key->IsUnknown()) return Status::OK();
+        const bool memo = ProbeCacheReady();
+        if (memo) {
+          if (const std::vector<Value>* hit = ProbeCacheLookup(*key)) {
+            ++stats->probe_cache_hits;
+            out->reserve(out->size() + hit->size());
+            for (const Value& rec : *hit) out->push_back(&rec);
+            return Status::OK();
+          }
+        }
         scratch.clear();
-        IDEA_RETURN_NOT_OK(index->ProbeEquals(key, &scratch));
+        IDEA_RETURN_NOT_OK(index->ProbeEquals(*key, &scratch));
         CountIndexProbe(ev);
+        if (memo) {
+          ++stats->probe_cache_misses;
+          ProbeCacheInsert(*key, scratch);
+        }
         for (const Value& rec : scratch) out->push_back(&rec);
         return Status::OK();
       }
       case AccessPathKind::kIndexNestedLoopSpatial: {
-        IDEA_ASSIGN_OR_RETURN(Value geom, ev->Eval(*probe_expr, env));
+        Value geom_scratch;
+        IDEA_ASSIGN_OR_RETURN(const Value* geom,
+                              ev->EvalRef(*probe_expr, env, &geom_scratch));
         adm::Rectangle mbr;
-        if (!adm::ValueMbr(geom, &mbr)) return Status::OK();
+        if (!adm::ValueMbr(*geom, &mbr)) return Status::OK();
         if (mbr_expand > 0) {
           mbr.lo.x -= mbr_expand;
           mbr.lo.y -= mbr_expand;
           mbr.hi.x += mbr_expand;
           mbr.hi.y += mbr_expand;
         }
+        const bool memo = ProbeCacheReady();
+        Value mbr_key;
+        if (memo) {
+          mbr_key = Value::MakeRectangle(mbr);
+          if (const std::vector<Value>* hit = ProbeCacheLookup(mbr_key)) {
+            ++stats->probe_cache_hits;
+            out->reserve(out->size() + hit->size());
+            for (const Value& rec : *hit) out->push_back(&rec);
+            return Status::OK();
+          }
+        }
         scratch.clear();
         IDEA_RETURN_NOT_OK(index->ProbeMbr(mbr, &scratch));
         CountIndexProbe(ev);
+        if (memo) {
+          ++stats->probe_cache_misses;
+          ProbeCacheInsert(mbr_key, scratch);
+        }
         for (const Value& rec : scratch) out->push_back(&rec);
         return Status::OK();
       }
     }
     return Status::Internal("unreachable access-path kind");
+  }
+
+  const Expr* SatisfiedConjunct() const override {
+    return kind == AccessPathKind::kHashBuildProbe ? satisfied_conjunct : nullptr;
   }
 
   std::string Describe() const override {
@@ -312,6 +419,7 @@ struct ProbeMatch {
   bool spatial = false;
   std::string field;
   const Expr* probe = nullptr;
+  const Expr* conjunct = nullptr;  // the whole matched WHERE conjunct
   double expand = 0;
 };
 
@@ -345,12 +453,14 @@ ProbeMatch FindProbe(const SelectStatement& q, const FromClause& fc,
         out.found = true;
         out.field = field;
         out.probe = c->right.get();
+        out.conjunct = c;
         return out;
       }
       if (IsFieldOfVar(*c->right, fc.alias, &field) && UsesOnly(*c->left, avail)) {
         out.found = true;
         out.field = field;
         out.probe = c->left.get();
+        out.conjunct = c;
         return out;
       }
     }
@@ -360,10 +470,10 @@ ProbeMatch FindProbe(const SelectStatement& q, const FromClause& fc,
       double expand = 0;
       if (MatchRefGeometry(*c->args[0], fc.alias, &field, &expand) &&
           UsesOnly(*c->args[1], avail)) {
-        spatial = ProbeMatch{true, true, field, c->args[1].get(), expand};
+        spatial = ProbeMatch{true, true, field, c->args[1].get(), nullptr, expand};
       } else if (MatchRefGeometry(*c->args[1], fc.alias, &field, &expand) &&
                  UsesOnly(*c->args[0], avail)) {
-        spatial = ProbeMatch{true, true, field, c->args[0].get(), expand};
+        spatial = ProbeMatch{true, true, field, c->args[0].get(), nullptr, expand};
       }
     }
   }
@@ -375,6 +485,7 @@ struct PlannedPath {
   AccessPathKind kind;
   std::string field;
   const Expr* probe;
+  const Expr* conjunct;  // hash-probe-satisfied WHERE conjunct (else nullptr)
   double expand;
 };
 
@@ -493,6 +604,7 @@ struct Planner {
     AccessPathKind kind = AccessPathKind::kScan;
     std::string field;
     const Expr* probe = nullptr;
+    const Expr* conjunct = nullptr;
     double expand = 0;
     if (fc.hints.skip_index) {
       kind = AccessPathKind::kScan;
@@ -504,6 +616,7 @@ struct Planner {
                        (config->prefer_index || fc.hints.force_index);
       kind = use_index ? AccessPathKind::kIndexNestedLoopEq
                        : AccessPathKind::kHashBuildProbe;
+      if (kind == AccessPathKind::kHashBuildProbe) conjunct = m.conjunct;
     } else if (m.found && m.spatial) {
       auto idx = datasets->GetIndexProbe(fc.dataset, m.field);
       if (idx != nullptr && idx->kind() == IndexProbe::Kind::kSpatial &&
@@ -514,7 +627,7 @@ struct Planner {
         expand = m.expand;
       }
     }
-    planned.push_back(PlannedPath{&fc, kind, field, probe, expand});
+    planned.push_back(PlannedPath{&fc, kind, field, probe, conjunct, expand});
   }
 };
 
@@ -554,6 +667,7 @@ Result<std::unique_ptr<EnrichmentPlan>> EnrichmentPlan::Compile(
     path->dataset = p.from->dataset;
     path->ref_field = p.field;
     path->probe_expr = p.probe;
+    path->satisfied_conjunct = p.conjunct;
     path->mbr_expand = p.expand;
     path->datasets = datasets;
     path->stats = &plan->stats_;
@@ -648,26 +762,41 @@ Result<adm::Value> EnrichmentPlan::EnrichOne(const adm::Value& record) {
     return Status::Internal("EnrichmentPlan::Initialize() must run before EnrichOne");
   }
   Env root;
-  IDEA_ASSIGN_OR_RETURN(Value result,
-                        evaluator_->CallSqlppFunction(*def_, {record}, &root));
+  IDEA_ASSIGN_OR_RETURN(
+      Value result,
+      evaluator_->CallSqlppFunction(*def_, ArgView(&record, 1), &root));
   ++stats_.records_enriched;
   if (records_metric_ != nullptr) records_metric_->Increment();
   // A SQL++ function returns the collection its SELECT produces; an
   // enrichment body emits one row per input record, which we unwrap.
   if (result.IsArray()) {
-    if (result.AsArray().size() == 1) return result.AsArray()[0];
-    if (result.AsArray().empty()) return Value::MakeNull();
+    adm::Array& rows = result.MutableArray();
+    if (rows.size() == 1) return std::move(rows[0]);
+    if (rows.empty()) return Value::MakeNull();
   }
   return result;
 }
 
+void EnrichmentPlan::BeginBatch() { evaluator_->BeginBatch(&batch_arena_); }
+
+void EnrichmentPlan::EndBatch() {
+  evaluator_->EndBatch();
+  batch_arena_.Reset();
+}
+
 Status EnrichmentPlan::EnrichBatch(const std::vector<adm::Value>& batch,
                                    adm::Array* out) {
+  BeginBatch();
   out->reserve(out->size() + batch.size());
   for (const auto& rec : batch) {
-    IDEA_ASSIGN_OR_RETURN(Value v, EnrichOne(rec));
-    out->push_back(std::move(v));
+    auto v = EnrichOne(rec);
+    if (!v.ok()) {
+      EndBatch();
+      return v.status();
+    }
+    out->push_back(std::move(v).value());
   }
+  EndBatch();
   return Status::OK();
 }
 

@@ -55,6 +55,15 @@ struct PlanConfig {
   /// absolute floor) is applied as a full rebuild instead — at that size the
   /// rebuild is no slower and resets accumulated map churn.
   double max_delta_fraction = 0.5;
+  /// Memoize index nested-loop probe results per probe key, validated against
+  /// the reference dataset's mutation sequence. A sequence move (or an
+  /// unversioned accessor) drops the memo, so cached probes are always
+  /// bit-identical to live ones.
+  bool enable_probe_cache = true;
+  /// Probe-memo byte budget per access path; once reached, further misses are
+  /// served live without being cached (skewed workloads cache the hot keys
+  /// first, which is where the win is).
+  size_t probe_cache_max_bytes = 8ull << 20;
 };
 
 /// How one Initialize() call refreshed the plan's intermediate state.
@@ -74,6 +83,8 @@ struct PlanStats {
   bool would_spill = false;         // any build exceeded the memory budget
   uint64_t records_enriched = 0;
   uint64_t index_probes = 0;
+  uint64_t probe_cache_hits = 0;    // index probes answered from the memo
+  uint64_t probe_cache_misses = 0;  // memo-eligible probes that went live
   // Refresh-path split (one of the first three increments per Initialize).
   uint64_t noop_refreshes = 0;
   uint64_t delta_refreshes = 0;
@@ -122,8 +133,16 @@ class EnrichmentPlan {
   /// single-row result collection. Requires a prior Initialize().
   Result<adm::Value> EnrichOne(const adm::Value& record);
 
-  /// Enriches a batch in order, appending to `out`.
+  /// Enriches a batch in order, appending to `out`. Runs under a batch
+  /// arena scope: evaluator temporaries are bump-allocated for the lifetime
+  /// of the batch and recycled wholesale afterwards.
   Status EnrichBatch(const std::vector<adm::Value>& batch, adm::Array* out);
+
+  /// Opens/closes a batch arena scope around a caller-driven EnrichOne loop
+  /// (the computing job enriches record-at-a-time but batch-at-a-call).
+  /// EnrichBatch manages its own scope; do not nest.
+  void BeginBatch();
+  void EndBatch();
 
   /// Independent instance over the same compiled form (per-partition use).
   std::unique_ptr<EnrichmentPlan> Fork() const;
@@ -151,6 +170,7 @@ class EnrichmentPlan {
   std::vector<std::unique_ptr<PathImpl>> paths_;
   AccessPathMap path_map_;
   std::unique_ptr<Evaluator> evaluator_;
+  adm::Arena batch_arena_;  // batch-lifetime scratch (see BeginBatch)
   PlanStats stats_;
   // idea.eval.<udf>.* registry mirrors (shared across forks of the plan).
   obs::Histogram* init_us_ = nullptr;

@@ -45,7 +45,7 @@ std::string FieldStr(const Value& rec, const char* name) {
 /// Figure 35: strips non-alphabetic characters and lower-cases.
 class RemoveSpecialUdf : public feed::NativeUdf {
  public:
-  Result<Value> Evaluate(const std::vector<Value>& args) override {
+  Result<Value> Evaluate(sqlpp::ArgView args) override {
     if (args.size() != 1 || !args[0].IsString()) {
       return Status::TypeMismatch("removeSpecial expects (string)");
     }
@@ -56,7 +56,7 @@ class RemoveSpecialUdf : public feed::NativeUdf {
 /// Figure 5 (Java UDF 1): flags US tweets containing "bomb".
 class UsTweetSafetyCheckUdf : public feed::NativeUdf {
  public:
-  Result<Value> Evaluate(const std::vector<Value>& args) override {
+  Result<Value> Evaluate(sqlpp::ArgView args) override {
     if (args.size() != 1 || !args[0].IsObject()) {
       return Status::TypeMismatch("usTweetSafetyCheck expects (object)");
     }
@@ -96,7 +96,7 @@ class TweetSafetyCheckUdf : public ResourceUdf {
     }
     return Status::OK();
   }
-  Result<Value> Evaluate(const std::vector<Value>& args) override {
+  Result<Value> Evaluate(sqlpp::ArgView args) override {
     if (args.size() != 1 || !args[0].IsObject()) {
       return Status::TypeMismatch("tweetSafetyCheck expects (object)");
     }
@@ -135,7 +135,7 @@ class SafetyRatingUdf : public ResourceUdf {
     }
     return Status::OK();
   }
-  Result<Value> Evaluate(const std::vector<Value>& args) override {
+  Result<Value> Evaluate(sqlpp::ArgView args) override {
     if (args.size() != 1 || !args[0].IsObject()) {
       return Status::TypeMismatch("safetyRating expects (object)");
     }
@@ -166,7 +166,7 @@ class ReligiousPopulationUdf : public ResourceUdf {
     }
     return Status::OK();
   }
-  Result<Value> Evaluate(const std::vector<Value>& args) override {
+  Result<Value> Evaluate(sqlpp::ArgView args) override {
     if (args.size() != 1 || !args[0].IsObject()) {
       return Status::TypeMismatch("religiousPopulation expects (object)");
     }
@@ -204,7 +204,7 @@ class LargestReligionsUdf : public ResourceUdf {
     }
     return Status::OK();
   }
-  Result<Value> Evaluate(const std::vector<Value>& args) override {
+  Result<Value> Evaluate(sqlpp::ArgView args) override {
     if (args.size() != 1 || !args[0].IsObject()) {
       return Status::TypeMismatch("largestReligions expects (object)");
     }
@@ -237,7 +237,7 @@ class FuzzySuspectsUdf : public ResourceUdf {
     }
     return Status::OK();
   }
-  Result<Value> Evaluate(const std::vector<Value>& args) override {
+  Result<Value> Evaluate(sqlpp::ArgView args) override {
     if (args.size() != 1 || !args[0].IsObject()) {
       return Status::TypeMismatch("fuzzySuspects expects (object)");
     }
@@ -282,7 +282,7 @@ class NearbyMonumentsUdf : public ResourceUdf {
     }
     return Status::OK();
   }
-  Result<Value> Evaluate(const std::vector<Value>& args) override {
+  Result<Value> Evaluate(sqlpp::ArgView args) override {
     if (args.size() != 1 || !args[0].IsObject()) {
       return Status::TypeMismatch("nearbyMonuments expects (object)");
     }

@@ -404,7 +404,7 @@ TEST_F(FeedPipelineTest, TwoConcurrentFeedsShareNodePoolsWithoutCrosstalk) {
 
 class FailingUdf : public NativeUdf {
  public:
-  Result<Value> Evaluate(const std::vector<Value>&) override {
+  Result<Value> Evaluate(sqlpp::ArgView) override {
     return Status::Internal("injected UDF failure");
   }
 };

@@ -26,7 +26,7 @@ class NativeUdfTest : public ::testing::Test {
   Value Call(const std::string& name, const Value& arg) {
     auto instance = registry_.CreateNativeInstance(name, "n0");
     EXPECT_TRUE(instance.ok()) << name << ": " << instance.status().ToString();
-    auto r = (*instance)->Evaluate({arg});
+    auto r = (*instance)->Evaluate(sqlpp::ArgView(&arg, 1));
     EXPECT_TRUE(r.ok()) << name << ": " << r.status().ToString();
     return r.ok() ? std::move(r).value() : Value();
   }
@@ -74,7 +74,7 @@ TEST_F(NativeUdfTest, ReinitializationPicksUpResourceChanges) {
   auto instance = registry_.CreateNativeInstance("testlib#safetyRating", "n0");
   ASSERT_TRUE(instance.ok());
   Value tweet = adm::ParseJson(R"({"country":"C00001"})").value();
-  Value v1 = (*instance)->Evaluate({tweet}).value();
+  Value v1 = (*instance)->Evaluate(sqlpp::ArgView(&tweet, 1)).value();
   EXPECT_EQ(v1.GetField("safety_rating")->AsArray()[0].AsString(), "low");
   // Change the resource file: visible only after re-initialization (the
   // dynamic framework re-initializes per computing job; the static pipeline
@@ -83,10 +83,10 @@ TEST_F(NativeUdfTest, ReinitializationPicksUpResourceChanges) {
     std::ofstream f(dir_ + "/safety_ratings.txt", std::ios::trunc);
     f << "C00001|high\n";
   }
-  Value stale = (*instance)->Evaluate({tweet}).value();
+  Value stale = (*instance)->Evaluate(sqlpp::ArgView(&tweet, 1)).value();
   EXPECT_EQ(stale.GetField("safety_rating")->AsArray()[0].AsString(), "low");
   ASSERT_TRUE((*instance)->Initialize("n0").ok());
-  Value fresh = (*instance)->Evaluate({tweet}).value();
+  Value fresh = (*instance)->Evaluate(sqlpp::ArgView(&tweet, 1)).value();
   EXPECT_EQ(fresh.GetField("safety_rating")->AsArray()[0].AsString(), "high");
 }
 

@@ -1,0 +1,205 @@
+// Delta-aware index probe cache: memoized nested-loop probes must be
+// bit-identical to live ones, and a reference-dataset mutation must drop the
+// memo immediately (mid-job update visibility, paper §7.3).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adm/json.h"
+#include "adm/serde.h"
+#include "sqlpp/enrichment_plan.h"
+#include "sqlpp/parser.h"
+#include "storage/catalog.h"
+#include "workload/reference_data.h"
+#include "workload/usecases.h"
+
+namespace idea::sqlpp {
+namespace {
+
+using adm::Value;
+
+class EmptyResolver : public FunctionResolver {
+ public:
+  const SqlppFunctionDef* FindSqlppFunction(const std::string&) const override {
+    return nullptr;
+  }
+  NativeFunctionHandle* FindNativeFunction(const std::string&) const override {
+    return nullptr;
+  }
+};
+
+std::shared_ptr<const SqlppFunctionDef> ParseFn(const std::string& ddl) {
+  auto s = ParseStatement(ddl);
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  auto def = std::make_shared<SqlppFunctionDef>();
+  def->name = s->create_function.name;
+  def->params = s->create_function.params;
+  def->body = std::shared_ptr<const SelectStatement>(std::move(s->create_function.body));
+  return def;
+}
+
+class ProbeCacheTest : public ::testing::Test {
+ protected:
+  ProbeCacheTest() : accessor_(&catalog_, /*cache=*/false) {}
+
+  void ApplyDdl(const std::string& script) {
+    auto stmts = ParseScript(script);
+    ASSERT_TRUE(stmts.ok()) << stmts.status().ToString();
+    for (const auto& stmt : *stmts) {
+      if (stmt.kind == StatementKind::kCreateType) {
+        std::vector<adm::FieldSpec> fields;
+        for (const auto& f : stmt.create_type.fields) {
+          auto ft = adm::FieldTypeFromName(f.type_name);
+          ASSERT_TRUE(ft.ok());
+          fields.push_back({f.name, *ft, f.optional});
+        }
+        (void)catalog_.CreateDatatype(adm::Datatype(stmt.create_type.name, fields));
+      } else if (stmt.kind == StatementKind::kCreateDataset) {
+        ASSERT_TRUE(catalog_
+                        .CreateDataset(stmt.create_dataset.name,
+                                       stmt.create_dataset.type_name,
+                                       stmt.create_dataset.primary_key)
+                        .ok());
+      } else if (stmt.kind == StatementKind::kCreateIndex) {
+        auto ds = catalog_.FindDataset(stmt.create_index.dataset);
+        ASSERT_NE(ds, nullptr);
+        ASSERT_TRUE(ds->CreateIndex(stmt.create_index.name, stmt.create_index.field,
+                                    stmt.create_index.index_type)
+                        .ok());
+      }
+    }
+  }
+
+  /// Keyed reference table with a B-tree index on `k`; several rows per key.
+  void SetupBtreeRef() {
+    ApplyDdl(R"(
+CREATE TYPE ProbeRefType AS OPEN { rid: int, k: int, payload: string };
+CREATE DATASET ProbeRef(ProbeRefType) PRIMARY KEY rid;
+CREATE INDEX probeRefK ON ProbeRef(k);
+)");
+    auto ds = catalog_.FindDataset("ProbeRef");
+    ASSERT_NE(ds, nullptr);
+    for (int j = 0; j < 200; ++j) {
+      Value rec = adm::ParseJson("{\"rid\": " + std::to_string(j) +
+                                 ", \"k\": " + std::to_string(j % 20) +
+                                 ", \"payload\": \"p" + std::to_string(j) + "\"}")
+                      .value();
+      ASSERT_TRUE(ds->Upsert(std::move(rec)).ok());
+    }
+  }
+
+  static Value Tweet(int id, int k) {
+    return adm::ParseJson("{\"id\": " + std::to_string(id) +
+                          ", \"k\": " + std::to_string(k) + "}")
+        .value();
+  }
+
+  storage::Catalog catalog_;
+  storage::CatalogAccessor accessor_;
+  EmptyResolver resolver_;
+};
+
+constexpr char kProbeFnDdl[] = R"(
+CREATE FUNCTION probeFn(t) {
+  LET matches = (SELECT VALUE r.payload FROM ProbeRef r WHERE r.k = t.k)
+  SELECT t.*, matches
+};
+)";
+
+TEST_F(ProbeCacheTest, BtreeMemoIsBitIdenticalToLiveProbes) {
+  SetupBtreeRef();
+  auto def = ParseFn(kProbeFnDdl);
+  auto cached = EnrichmentPlan::Compile(def, &accessor_, &resolver_);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  ASSERT_EQ((*cached)->choices()[0].kind, AccessPathKind::kIndexNestedLoopEq)
+      << (*cached)->Explain();
+  PlanConfig off;
+  off.enable_probe_cache = false;
+  auto live = EnrichmentPlan::Compile(def, &accessor_, &resolver_, off);
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE((*cached)->Initialize().ok());
+  ASSERT_TRUE((*live)->Initialize().ok());
+
+  // Heavy key repetition: every key probed several times.
+  for (int i = 0; i < 100; ++i) {
+    Value t = Tweet(i, i % 10);
+    auto a = (*cached)->EnrichOne(t);
+    auto b = (*live)->EnrichOne(t);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(adm::SerializeToBytes(*a), adm::SerializeToBytes(*b))
+        << "record " << i << "\ncached: " << a->ToString()
+        << "\nlive:   " << b->ToString();
+  }
+  EXPECT_GT((*cached)->stats().probe_cache_hits, 0u);
+  EXPECT_EQ((*cached)->stats().probe_cache_misses, 10u);
+  EXPECT_EQ((*live)->stats().probe_cache_hits, 0u);
+  // Cache hits skip the index entirely.
+  EXPECT_LT((*cached)->stats().index_probes, (*live)->stats().index_probes);
+}
+
+TEST_F(ProbeCacheTest, MutationDropsMemoMidJob) {
+  SetupBtreeRef();
+  auto def = ParseFn(kProbeFnDdl);
+  auto plan = EnrichmentPlan::Compile(def, &accessor_, &resolver_);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE((*plan)->Initialize().ok());
+
+  Value t = Tweet(1, 3);
+  auto before = (*plan)->EnrichOne(t);
+  ASSERT_TRUE(before.ok());
+  // Probe the same key again: answered from the memo.
+  ASSERT_TRUE((*plan)->EnrichOne(t).ok());
+  EXPECT_GT((*plan)->stats().probe_cache_hits, 0u);
+
+  // Live update without re-Initialize: add another row under key 3. The
+  // sequence moves, the memo drops, and the next probe sees the new row.
+  auto ds = catalog_.FindDataset("ProbeRef");
+  ASSERT_TRUE(ds->Upsert(adm::ParseJson(
+                             R"({"rid": 900, "k": 3, "payload": "fresh"})")
+                             .value())
+                  .ok());
+  auto after = (*plan)->EnrichOne(t);
+  ASSERT_TRUE(after.ok());
+  size_t n_before = before->GetField("matches")->AsArray().size();
+  EXPECT_EQ(after->GetField("matches")->AsArray().size(), n_before + 1);
+}
+
+TEST_F(ProbeCacheTest, SpatialMemoIsBitIdenticalToLiveProbes) {
+  const auto& uc = workload::GetUseCase(workload::UseCaseId::kNearbyMonuments);
+  ApplyDdl(uc.ddl);
+  workload::RefSizes sizes = workload::SimulatorScaleSizes().Scaled(0.2);
+  ASSERT_TRUE(workload::LoadUseCaseData(&catalog_, uc, sizes, 200, 1).ok());
+
+  auto def = ParseFn(uc.function_ddl);
+  auto cached = EnrichmentPlan::Compile(def, &accessor_, &resolver_);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_EQ((*cached)->choices()[0].kind, AccessPathKind::kIndexNestedLoopSpatial);
+  PlanConfig off;
+  off.enable_probe_cache = false;
+  auto live = EnrichmentPlan::Compile(def, &accessor_, &resolver_, off);
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE((*cached)->Initialize().ok());
+  ASSERT_TRUE((*live)->Initialize().ok());
+
+  // A handful of hot locations, probed repeatedly (zipf-like reuse).
+  for (int i = 0; i < 60; ++i) {
+    double lat = 10.0 * (i % 5);
+    double lon = 15.0 * (i % 4);
+    Value t = adm::ParseJson("{\"id\": " + std::to_string(i) +
+                             ", \"text\": \"x\", \"latitude\": " + std::to_string(lat) +
+                             ", \"longitude\": " + std::to_string(lon) + "}")
+                  .value();
+    auto a = (*cached)->EnrichOne(t);
+    auto b = (*live)->EnrichOne(t);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(adm::SerializeToBytes(*a), adm::SerializeToBytes(*b));
+  }
+  EXPECT_GT((*cached)->stats().probe_cache_hits, 0u);
+  EXPECT_EQ((*live)->stats().probe_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace idea::sqlpp

@@ -218,7 +218,7 @@ using adm::Value;
 /// invocation overlap observable at pipeline_depth > 1.
 class SlowIdentityUdf : public NativeUdf {
  public:
-  Result<Value> Evaluate(const std::vector<Value>& args) override {
+  Result<Value> Evaluate(sqlpp::ArgView args) override {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
     return args[0];
   }
