@@ -22,11 +22,15 @@
 
 #include <functional>
 #include <memory>
+#include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "cluster/cost_model.h"
+#include "cluster/membership.h"
 #include "cluster/node_controller.h"
 #include "runtime/job_executor.h"
+#include "runtime/memory_governor.h"
 #include "runtime/predeployed.h"
 #include "runtime/task_scheduler.h"
 
@@ -40,6 +44,10 @@ struct ClusterConfig {
   CostModelConfig costs;
   /// Host worker threads used to execute virtual-time tasks.
   size_t host_workers = 2;
+  /// Per-node memory-governor budget/delay (idea.memgov.*).
+  runtime::MemoryGovernorOptions memgov;
+  /// Heartbeat cadence / miss thresholds for the health monitor.
+  HealthMonitorOptions health;
 };
 
 class Cluster {
@@ -47,9 +55,44 @@ class Cluster {
   explicit Cluster(ClusterConfig config);
   ~Cluster();
 
-  size_t node_count() const { return nodes_.size(); }
-  NodeController& node(size_t i) { return *nodes_[i]; }
+  size_t node_count() const {
+    std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+    return nodes_.size();
+  }
+  NodeController& node(size_t i) {
+    std::shared_lock<std::shared_mutex> lock(nodes_mu_);
+    return *nodes_[i];
+  }
   const CostModel& costs() const { return cost_model_; }
+
+  /// Epoch-stamped liveness roster consulted by routers / the AFM.
+  MembershipTable& membership() { return membership_; }
+  /// Heartbeat-driven health monitor (virtual-clock; advanced via PumpHealth).
+  HealthMonitor& health() { return *health_; }
+
+  /// Elastic membership. AddNode appends a new kAlive node (indices are
+  /// stable; dead nodes keep their slot) and returns its index. DrainNode
+  /// fences a node from new traffic while it finishes in-flight work.
+  /// FailNode declares a node dead (terminal), triggering feed failover on
+  /// the next liveness check.
+  size_t AddNode();
+  Status DrainNode(size_t node);
+  Status FailNode(size_t node);
+
+  /// Liveness probe used by per-partition tasks: returns kUnavailable when
+  /// `node` is dead — or when the deterministic `node.kill` chaos point
+  /// (keyed by the node id) fires, in which case the node is first marked
+  /// dead so every later probe agrees.
+  Status CheckAlive(size_t node);
+
+  /// One health-plane round: every non-dead node emits a heartbeat (dropped
+  /// when `cluster.heartbeat` fires), then the monitor clock advances by
+  /// `advance_us` and silence thresholds are re-evaluated. Returns nodes
+  /// newly declared dead this round.
+  std::vector<size_t> PumpHealth(uint64_t advance_us);
+
+  /// {"nodes":[{"id":...,"budget_bytes":...,...}]} for the /memgov endpoint.
+  std::string MemgovJson() const;
   runtime::PredeployedJobManager& predeployed() { return predeployed_; }
   ExecutionMode mode() const { return config_.mode; }
   const ClusterConfig& config() const { return config_; }
@@ -80,7 +123,12 @@ class Cluster {
  private:
   ClusterConfig config_;
   CostModel cost_model_;
+  /// Guards nodes_ growth (AddNode) against concurrent readers; the
+  /// NodeController objects themselves are stable behind unique_ptr.
+  mutable std::shared_mutex nodes_mu_;
   std::vector<std::unique_ptr<NodeController>> nodes_;
+  MembershipTable membership_;
+  std::unique_ptr<HealthMonitor> health_;
   runtime::PredeployedJobManager predeployed_;
   std::unique_ptr<runtime::TaskScheduler> cc_scheduler_;
   /// Capped pool for virtual-time measurement steps (independent tasks only;

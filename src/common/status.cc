@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kTypeMismatch:
       return "TypeMismatch";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kTimedOut,
   kParseError,
   kTypeMismatch,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK", "NotFound"...).
@@ -70,6 +71,9 @@ class Status {
   static Status TypeMismatch(std::string msg) {
     return Status(StatusCode::kTypeMismatch, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +84,7 @@ class Status {
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsTypeMismatch() const { return code_ == StatusCode::kTypeMismatch; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -58,15 +58,43 @@ Status ActiveFeedManager::StartFeed(StartArgs args) {
     std::lock_guard<std::mutex> lock(mu_);
     dlqs_[name] = feed->dlq;
   }
+  // HA feeds plan their partition map over the currently routable members
+  // (round-robin); non-HA feeds keep the fixed identity binding (partition p
+  // on node p) by passing no map at all.
+  feed->deployed_nodes = cluster_->node_count();
+  const std::vector<size_t>* pmap = nullptr;
+  if (feed->config.ha_failover) {
+    std::vector<size_t> routable = cluster_->membership().RoutableNodes();
+    if (routable.empty()) routable = cluster_->membership().AliveNodes();
+    if (routable.empty()) {
+      (void)ComputingJob::Undeploy(name, cluster_);
+      return Status::Unavailable("feed '" + name + "': no live node to start on");
+    }
+    feed->pmap.resize(feed->deployed_nodes);
+    for (size_t p = 0; p < feed->pmap.size(); ++p) {
+      feed->pmap[p] = routable[p % routable.size()];
+    }
+    pmap = &feed->pmap;
+  }
+  feed->intake = std::make_unique<IntakeJob>(name, cluster_);
   feed->storage = std::make_unique<StorageJob>(name, cluster_, dataset, feed->config,
                                                feed->dlq.get());
-  Status st = feed->storage->Start();
+  if (feed->config.ha_failover) {
+    // Durable-frame hook: a frame's WAL group-commit retires it against its
+    // intake lease. Installed before Start so no drain loop ever races the
+    // assignment. The intake job outlives the storage job (member order), so
+    // the raw capture is safe.
+    IntakeJob* intake_raw = feed->intake.get();
+    feed->storage->set_frame_ack([intake_raw](size_t partition, uint64_t lease) {
+      intake_raw->AckFrame(partition, lease);
+    });
+  }
+  Status st = feed->storage->Start(pmap);
   if (!st.ok()) {
     (void)ComputingJob::Undeploy(name, cluster_);
     return st;
   }
-  feed->intake = std::make_unique<IntakeJob>(name, cluster_);
-  st = feed->intake->Start(args.adapter_factory, args.config, feed->dlq.get());
+  st = feed->intake->Start(args.adapter_factory, args.config, feed->dlq.get(), pmap);
   if (!st.ok()) {
     (void)ComputingJob::Undeploy(name, cluster_);
     return st;
@@ -85,11 +113,15 @@ Status ActiveFeedManager::StartFeed(StartArgs args) {
     raw->intake->StopAdapters();
     DrainIntakeBacklog(raw);
     (void)ComputingJob::Undeploy(name, cluster_);
-    for (size_t p = 0; p < cluster_->node_count(); ++p) {
-      (void)cluster_->node(p).holders().Unregister(
-          runtime::PartitionHolderId{name, "intake", p});
-      (void)cluster_->node(p).holders().Unregister(
-          runtime::PartitionHolderId{name, "storage", p});
+    // Partition p's holders live on pmap[p], which need not equal p: sweep
+    // every node for every partition id.
+    for (size_t n = 0; n < cluster_->node_count(); ++n) {
+      for (size_t p = 0; p < raw->intake->partition_count(); ++p) {
+        (void)cluster_->node(n).holders().Unregister(
+            runtime::PartitionHolderId{name, "intake", p});
+        (void)cluster_->node(n).holders().Unregister(
+            runtime::PartitionHolderId{name, "storage", p});
+      }
     }
     return st;
   }
@@ -104,7 +136,7 @@ Status ActiveFeedManager::StartFeed(StartArgs args) {
 }
 
 void ActiveFeedManager::DrainIntakeBacklog(ActiveFeed* feed) {
-  for (size_t p = 0; p < cluster_->node_count(); ++p) {
+  for (size_t p = 0; p < feed->intake->partition_count(); ++p) {
     std::vector<std::string> junk;
     while (feed->intake->holder(p)->PullBatch(1u << 12, &junk)) junk.clear();
   }
@@ -131,21 +163,58 @@ void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
   // invocation order no matter which lane runs which ticket, so storage sees
   // batches exactly as at depth 1.
   auto lane = [&]() -> Status {
+    const bool ha = feed->config.ha_failover;
     while (true) {
+      if (ha) {
+        // Advance the health plane one heartbeat interval per invocation:
+        // beats from every live node (the cluster.heartbeat fault site drops
+        // some), then the monitor's virtual clock. Nodes newly declared dead
+        // fail over eagerly, before their partitions' next pull wedges.
+        std::vector<size_t> newly_dead =
+            cluster_->PumpHealth(cluster_->health().options().heartbeat_interval_us);
+        if (!newly_dead.empty()) {
+          Status recovered = RecoverFeed(feed);
+          if (!recovered.ok()) {
+            if (feed->final_status.Set(recovered)) feed->intake->StopAdapters();
+            return recovered;
+          }
+        }
+      }
+      // Snapshot the pmap: a relocation mid-invocation surfaces as
+      // kUnavailable (stale snapshot), never as corruption.
+      std::vector<size_t> pmap_copy;
+      const std::vector<size_t>* pmap_arg = nullptr;
+      if (ha) {
+        std::lock_guard<std::mutex> ha_lock(feed->ha_mu);
+        pmap_copy = feed->pmap;
+        pmap_arg = &pmap_copy;
+      }
       const uint64_t ticket = next_ticket.fetch_add(1);
       inflight->Add(1);
       auto inv = ComputingJob::RunOnce(feed->config.name, feed->config, cluster_,
                                        feed->sequencer.get(), ticket,
-                                       feed->dlq.get());
+                                       feed->dlq.get(), pmap_arg);
       inflight->Add(-1);
       if (!inv.ok()) {
+        Status st = inv.status();
+        if (ha && st.code() == StatusCode::kUnavailable) {
+          // A hosting node died mid-invocation: re-plan, redeliver, resume.
+          Status recovered = RecoverFeed(feed);
+          if (recovered.ok()) continue;
+          st = recovered;
+        }
         // First failure stops the adapters; the backlog is drained after the
         // lanes join so the intake job can reach EOF.
-        if (feed->final_status.Set(inv.status())) feed->intake->StopAdapters();
-        return inv.status();
+        if (feed->final_status.Set(st)) feed->intake->StopAdapters();
+        return st;
       }
       {
         std::lock_guard<std::mutex> lock(mu_);
+        if (feed->recovering_since_us != 0) {
+          feed->stats.recovery_to_resume_us =
+              obs::NowMicros() - feed->recovering_since_us;
+          feed->recovering_since_us = 0;
+        }
         feed->stats.records_ingested += inv->records_out;
         feed->stats.parse_errors += inv->parse_errors;
         feed->stats.validation_errors += inv->validation_errors;
@@ -215,7 +284,7 @@ void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
   // Fold the holders' back-pressure view into the feed summary now that the
   // pipeline is quiescent.
   FeedRuntimeStats holder_summary;
-  for (size_t p = 0; p < cluster_->node_count(); ++p) {
+  for (size_t p = 0; p < feed->intake->partition_count(); ++p) {
     runtime::HolderStats in = feed->intake->holder(p)->stats();
     runtime::HolderStats st = feed->storage->holder(p)->stats();
     holder_summary.intake_queue_high_watermark =
@@ -247,6 +316,75 @@ void ActiveFeedManager::DriveFeed(ActiveFeed* feed) {
                                           feed->config.name, outcome.ToString());
     if (!feed->config.post_mortem_dir.empty()) WritePostMortem(*feed, outcome);
   }
+}
+
+Status ActiveFeedManager::RecoverFeed(ActiveFeed* feed) {
+  std::lock_guard<std::mutex> ha_lock(feed->ha_mu);
+  WallTimer timer;
+  timer.Start();
+  cluster::MembershipTable& membership = cluster_->membership();
+  // Partitions stranded on dead nodes under the current plan.
+  std::vector<size_t> victims;
+  for (size_t p = 0; p < feed->pmap.size(); ++p) {
+    if (membership.IsDead(feed->pmap[p])) victims.push_back(p);
+  }
+  if (victims.empty()) return Status::OK();  // another lane already re-planned
+  if (feed->failovers_done >= feed->config.max_failovers) {
+    return Status::Unavailable("feed '" + feed->config.name + "' exhausted its " +
+                               std::to_string(feed->config.max_failovers) +
+                               "-failover budget");
+  }
+  ++feed->failovers_done;
+  // Candidate targets: routable (fall back to merely alive) nodes that hold
+  // a predeployed artifact for this feed.
+  std::vector<size_t> targets;
+  for (size_t n : membership.RoutableNodes()) {
+    if (n < feed->deployed_nodes) targets.push_back(n);
+  }
+  if (targets.empty()) {
+    for (size_t n : membership.AliveNodes()) {
+      if (n < feed->deployed_nodes) targets.push_back(n);
+    }
+  }
+  if (targets.empty()) {
+    return Status::Unavailable("feed '" + feed->config.name +
+                               "': no live node left to fail over to");
+  }
+  // Least-loaded placement: spread the victims over the targets hosting the
+  // fewest partitions (ties broken by lowest index, so the plan is
+  // deterministic for a given roster).
+  std::vector<size_t> load(feed->deployed_nodes, 0);
+  for (size_t p = 0; p < feed->pmap.size(); ++p) {
+    if (!membership.IsDead(feed->pmap[p])) load[feed->pmap[p]]++;
+  }
+  for (size_t p : victims) {
+    size_t best = targets[0];
+    for (size_t t : targets) {
+      if (load[t] < load[best]) best = t;
+    }
+    IDEA_RETURN_NOT_OK(feed->intake->RelocatePartition(p, best));
+    IDEA_RETURN_NOT_OK(feed->storage->RelocatePartition(p, best));
+    feed->pmap[p] = best;
+    load[best]++;
+  }
+  // At-least-once: everything pulled but not fully acked goes back to the
+  // front of its (possibly relocated) queue. Duplicates are harmless — the
+  // storage path upserts by primary key.
+  const size_t redelivered = feed->intake->RedeliverUnackedAll();
+  const double recovery_us = timer.ElapsedMicros();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    feed->stats.failovers++;
+    feed->stats.records_redelivered += redelivered;
+    feed->stats.last_recovery_us = recovery_us;
+    feed->recovering_since_us = obs::NowMicros();
+  }
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventKind::kFailover, feed->config.name,
+      "re-planned " + std::to_string(victims.size()) + " partition(s), redelivered " +
+          std::to_string(redelivered) + " record(s)",
+      static_cast<int>(victims.size()));
+  return Status::OK();
 }
 
 void ActiveFeedManager::WritePostMortem(const ActiveFeed& feed,
@@ -306,12 +444,16 @@ Result<FeedRuntimeStats> ActiveFeedManager::WaitForFeedStats(
   }
   (void)feed->driver.Wait();
   (void)ComputingJob::Undeploy(feed_name, cluster_);
-  // Unregister partition holders so the feed can be restarted.
-  for (size_t p = 0; p < cluster_->node_count(); ++p) {
-    (void)cluster_->node(p).holders().Unregister(
-        runtime::PartitionHolderId{feed_name, "intake", p});
-    (void)cluster_->node(p).holders().Unregister(
-        runtime::PartitionHolderId{feed_name, "storage", p});
+  // Unregister partition holders so the feed can be restarted. After a
+  // failover partition p's holders need not live on node p, so sweep every
+  // node for every partition id.
+  for (size_t n = 0; n < cluster_->node_count(); ++n) {
+    for (size_t p = 0; p < feed->intake->partition_count(); ++p) {
+      (void)cluster_->node(n).holders().Unregister(
+          runtime::PartitionHolderId{feed_name, "intake", p});
+      (void)cluster_->node(n).holders().Unregister(
+          runtime::PartitionHolderId{feed_name, "storage", p});
+    }
   }
   IDEA_RETURN_NOT_OK(feed->final_status.Get());
   return feed->stats;

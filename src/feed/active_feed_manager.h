@@ -84,9 +84,27 @@ class ActiveFeedManager {
     FeedRuntimeStats stats;
     common::FirstError final_status;
     bool finished = false;
+
+    /// HA state (config.ha_failover): the partition map (partition ->
+    /// hosting node) and the failover budget. Guarded by ha_mu; lanes copy
+    /// the map per invocation, RecoverFeed re-plans it.
+    std::mutex ha_mu;
+    std::vector<size_t> pmap;
+    uint32_t failovers_done = 0;
+    /// Nodes that hold a predeployed artifact (node_count at deploy time);
+    /// failover targets must come from this prefix.
+    size_t deployed_nodes = 0;
+    /// NowMicros() when the last recovery finished; cleared by the first
+    /// successful invocation after it (feeds recovery_to_resume_us).
+    double recovering_since_us = 0;
   };
 
   void DriveFeed(ActiveFeed* feed);
+  /// Feed failover (Grover & Carey recovery model): relocates every
+  /// partition hosted on a dead node to the least-loaded live deployed node,
+  /// updates the pmap, and redelivers unacked leased batches. Idempotent —
+  /// concurrent lanes serialize on ha_mu and later callers see no victims.
+  Status RecoverFeed(ActiveFeed* feed);
   /// Pulls leftover intake batches after a failure so adapters blocked on a
   /// full holder can finish and EOF lands.
   void DrainIntakeBacklog(ActiveFeed* feed);

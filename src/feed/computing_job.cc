@@ -24,6 +24,10 @@ bool IsRetryable(const Status& st) {
     case StatusCode::kTypeMismatch:
     case StatusCode::kInvalidArgument:
     case StatusCode::kParseError:
+    // Unavailable = the hosting node died; retrying on the same node cannot
+    // succeed. It must surface to the Active Feed Manager, which re-plans
+    // the partition map and resumes (feed failover).
+    case StatusCode::kUnavailable:
       return false;
     default:
       return true;
@@ -67,6 +71,7 @@ Status ComputingJob::Deploy(const std::string& feed_name, const FeedConfig& conf
       JobId(feed_name), cluster->node_count(),
       [&](size_t node) -> Result<std::unique_ptr<runtime::JobArtifact>> {
         auto artifact = std::make_unique<ComputingArtifact>();
+        artifact->memgov = &cluster->node(node).memgov();
         IDEA_ASSIGN_OR_RETURN(artifact->parser, MakeParser(config.format, datatype));
         if (sqlpp_def != nullptr) {
           artifact->accessor =
@@ -94,9 +99,13 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
                                                   cluster::Cluster* cluster,
                                                   FeedPipelineSequencer* sequencer,
                                                   uint64_t ticket,
-                                                  DeadLetterQueue* dlq) {
+                                                  DeadLetterQueue* dlq,
+                                                  const std::vector<size_t>* pmap) {
   const size_t nodes = cluster->node_count();
-  const size_t quota = std::max<size_t>(1, config.batch_size / nodes);
+  // Partition layout: p lives on node pmap[p] (identity when null, the
+  // pre-HA fixed binding). The batch quota is split across partitions.
+  const size_t partitions = pmap != nullptr ? pmap->size() : nodes;
+  const size_t quota = std::max<size_t>(1, config.batch_size / partitions);
   cluster->predeployed().RecordInvocation(JobId(feed_name));
 
   obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.compute." + feed_name);
@@ -119,11 +128,13 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
   std::atomic<uint64_t> records_in{0}, records_out{0}, parse_errors{0},
       validation_errors{0}, records_skipped{0}, dead_letters{0}, retries{0};
   std::atomic<size_t> exhausted_nodes{0};
-  std::vector<std::vector<obs::Span>> node_spans(nodes);
+  std::vector<std::vector<obs::Span>> node_spans(partitions);
   runtime::TaskGroup group;
 
-  for (size_t p = 0; p < nodes; ++p) {
-    Status launched = group.Launch(&cluster->node(p).scheduler(), [&, p]() -> Status {
+  for (size_t p = 0; p < partitions; ++p) {
+    const size_t node = pmap != nullptr ? (*pmap)[p] : p;
+    Status launched = group.Launch(&cluster->node(node).scheduler(),
+                                   [&, p, node]() -> Status {
       // Turn order in the feed's pipeline: the pull turn is released right
       // after the batch is collected (the next invocation may then pull),
       // the ship turn right after frames reach the storage holder. The RAII
@@ -141,25 +152,43 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
                                   obs::NowMicros() - start_us});
       };
       auto run = [&]() -> Status {
+        // Liveness probe: the node.kill fault site fires here, modeling this
+        // partition's node dying before its task does any work.
+        IDEA_RETURN_NOT_OK(cluster->CheckAlive(node));
         auto* artifact = dynamic_cast<ComputingArtifact*>(
-            cluster->predeployed().Get(JobId(feed_name), p));
+            cluster->predeployed().Get(JobId(feed_name), node));
         if (artifact == nullptr) {
           return Status::Internal("computing job for feed '" + feed_name +
-                                  "' is not predeployed on node " + std::to_string(p));
+                                  "' is not predeployed on node " + std::to_string(node));
         }
-        auto intake = cluster->node(p).holders().FindIntake(
+        auto intake = cluster->node(node).holders().FindIntake(
             runtime::PartitionHolderId{feed_name, "intake", p});
-        auto storage_holder = cluster->node(p).holders().FindStorage(
+        auto storage_holder = cluster->node(node).holders().FindStorage(
             runtime::PartitionHolderId{feed_name, "storage", p});
         if (intake == nullptr || storage_holder == nullptr) {
+          if (config.ha_failover) {
+            // Our pmap snapshot raced a relocation: the holders moved. The
+            // AFM refreshes the map and re-invokes.
+            return Status::Unavailable("partition " + std::to_string(p) +
+                                       " of feed '" + feed_name +
+                                       "' relocated off node " + std::to_string(node));
+          }
           return Status::Internal("partition holders for feed '" + feed_name +
-                                  "' missing on node " + std::to_string(p));
+                                  "' missing on node " + std::to_string(node));
         }
-        // Collector: pull this node's share of the batch, in ticket order.
+        // Collector: pull this partition's share of the batch, in ticket
+        // order. HA feeds pull under a lease so the records can be redelivered
+        // if this invocation (or the storage path) dies before the frames are
+        // durable.
         pull_turn.Acquire();
         std::vector<std::string> raw;
+        uint64_t lease = 0;
         double t0 = obs::NowMicros();
-        if (!intake->PullBatch(quota, &raw)) {
+        if (!intake->PullBatch(quota, &raw, config.ha_failover ? &lease : nullptr)) {
+          // A poisoned (relocated) holder reports kUnavailable — that is a
+          // failover signal, not exhaustion.
+          Status herr = intake->first_error();
+          if (herr.code() == StatusCode::kUnavailable) return herr;
           exhausted_nodes.fetch_add(1);
           return Status::OK();
         }
@@ -231,8 +260,16 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
           if (artifact->plan != nullptr) {
             artifact->accessor->BeginEpoch();
             IDEA_RETURN_NOT_OK(artifact->plan->Initialize());
+            // Track the refreshed hash-build footprint against the node
+            // budget. The hold is resized, not re-acquired: steady state is a
+            // no-op, reference-data churn adjusts by the delta. A spill
+            // verdict caps the hold at what fit; the plan still runs (the
+            // governor's job is admission accounting, not allocation).
+            std::lock_guard<std::mutex> hold_lock(artifact->memgov_mu);
+            (void)artifact->memgov->UpdateHold(&artifact->memgov_hold,
+                                               artifact->plan->stats().hash_build_bytes);
           } else {
-            IDEA_RETURN_NOT_OK(artifact->native->Initialize(cluster->node(p).id()));
+            IDEA_RETURN_NOT_OK(artifact->native->Initialize(cluster->node(node).id()));
           }
           span("compute.init", init_start);
           init_us->Record(obs::NowMicros() - init_start);
@@ -335,14 +372,24 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
         }
         records_out.fetch_add(enriched.size(), std::memory_order_relaxed);
         // Feed pipeline sink: ship frames to the storage job, in ticket
-        // order so concurrent invocations upsert in sequential order.
+        // order so concurrent invocations upsert in sequential order. Frames
+        // are stamped with the pull lease; the lease closes with the shipped
+        // count so the ledger knows when every frame has been acked durable.
+        // If the node dies mid-ship the lease stays open and the whole batch
+        // redelivers (duplicates are PK-idempotent at the LSM).
         ship_turn.Acquire();
         IDEA_RETURN_NOT_OK(IDEA_FAULT_HIT("compute.ship"));
+        IDEA_RETURN_NOT_OK(cluster->CheckAlive(node));
         t0 = obs::NowMicros();
+        size_t frames_shipped = 0;
         for (auto& frame : runtime::FrameRecords(enriched, config.frame_bytes)) {
           frame.set_trace_id(trace_id);
+          frame.set_lease_id(lease);
+          frame.set_origin_partition(p);
           IDEA_RETURN_NOT_OK(storage_holder->Push(std::move(frame)));
+          ++frames_shipped;
         }
+        if (lease != 0) intake->CloseLease(lease, frames_shipped);
         span("compute.ship", t0);
         return Status::OK();
       };
@@ -353,7 +400,7 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
       if (sequencer != nullptr) {
         // Never-launched nodes must still take their turns or later tickets
         // would wedge; the temporaries wait for and advance each line.
-        for (size_t q = p; q < nodes; ++q) {
+        for (size_t q = p; q < partitions; ++q) {
           runtime::TurnstileTurn(&sequencer->pull_lines[q], ticket);
           runtime::TurnstileTurn(&sequencer->ship_lines[q], ticket);
         }
@@ -371,7 +418,7 @@ Result<ComputingInvocation> ComputingJob::RunOnce(const std::string& feed_name,
   out.records_skipped = records_skipped.load();
   out.dead_letters = dead_letters.load();
   out.retries = retries.load();
-  out.intake_exhausted = exhausted_nodes.load() == nodes;
+  out.intake_exhausted = exhausted_nodes.load() == partitions;
   out.wall_micros = timer.ElapsedMicros();
   out.trace_id = trace_id;
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,16 @@ struct ComputingArtifact : public runtime::JobArtifact {
   std::unique_ptr<sqlpp::EnrichmentPlan> plan;  // SQL++ UDF (may be null)
   std::unique_ptr<NativeUdf> native;            // native UDF (may be null)
   std::string native_name;
+
+  /// Memory-governor reservation tracking the plan's hash-build bytes on
+  /// this node; resized after every state refresh, returned on teardown.
+  runtime::MemoryGovernor* memgov = nullptr;
+  std::mutex memgov_mu;  // overlapping invocations resize the same hold
+  uint64_t memgov_hold = 0;
+
+  ~ComputingArtifact() override {
+    if (memgov != nullptr) memgov->Release(memgov_hold);
+  }
 };
 
 /// Outcome of one computing-job invocation.
@@ -79,18 +90,22 @@ class ComputingJob {
   /// Removes the predeployed artifacts.
   static Status Undeploy(const std::string& feed_name, cluster::Cluster* cluster);
 
-  /// Runs one invocation: per-node tasks on the node schedulers, each pulling
-  /// up to ceil(batch_size / nodes) records. With a sequencer, `ticket` is
-  /// this invocation's position in the feed's pipeline; concurrent RunOnce
-  /// calls may then overlap while pulls and ships stay ticket-ordered.
+  /// Runs one invocation: per-partition tasks on the hosting nodes' schedulers
+  /// (partition p on node pmap[p]; null = identity over the node count), each
+  /// pulling up to ceil(batch_size / partitions) records. With a sequencer,
+  /// `ticket` is this invocation's position in the feed's pipeline; concurrent
+  /// RunOnce calls may then overlap while pulls and ships stay ticket-ordered.
   /// Failure handling follows config.on_error / config.max_retries; under the
   /// dead-letter policy rejected records are parked in `dlq` when provided.
+  /// A kUnavailable result means a hosting node died mid-invocation — the
+  /// Active Feed Manager re-plans the pmap and resumes (not a feed failure).
   static Result<ComputingInvocation> RunOnce(const std::string& feed_name,
                                              const FeedConfig& config,
                                              cluster::Cluster* cluster,
                                              FeedPipelineSequencer* sequencer = nullptr,
                                              uint64_t ticket = 0,
-                                             DeadLetterQueue* dlq = nullptr);
+                                             DeadLetterQueue* dlq = nullptr,
+                                             const std::vector<size_t>* pmap = nullptr);
 
   static std::string JobId(const std::string& feed_name) {
     return "computing-job:" + feed_name;

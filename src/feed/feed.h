@@ -25,6 +25,16 @@ enum class OnError : uint8_t {
 Result<OnError> ParseOnError(const std::string& name);
 const char* OnErrorName(OnError policy);
 
+/// Intake -> partition routing policy.
+enum class RoutingPolicy : uint8_t {
+  kRoundRobin,  // blind rotation over partitions (pre-HA behavior)
+  kCongestion,  // rotation that diverts from deep/suspect/dead partitions
+};
+
+/// "round-robin" | "congestion" (case-insensitive; '_' == '-').
+Result<RoutingPolicy> ParseRoutingPolicy(const std::string& name);
+const char* RoutingPolicyName(RoutingPolicy policy);
+
 /// Static description of a feed (CREATE FEED ... WITH {...}).
 struct FeedConfig {
   std::string name;
@@ -56,6 +66,24 @@ struct FeedConfig {
   /// longer than this (dead consumer) fails with TimedOut instead of
   /// deadlocking. 0 = wait forever.
   uint64_t holder_push_deadline_us = 120 * 1000 * 1000ull;
+  /// How intake adapters pick the partition for each record. Congestion
+  /// routing degrades to exact round-robin while queue depths are balanced
+  /// (ties keep the rotation), so figure benches are unchanged; under skew it
+  /// diverts to the shallowest routable partition, and it always skips
+  /// partitions whose node is dead or draining (suspect too, until the node
+  /// heartbeats again).
+  RoutingPolicy routing = RoutingPolicy::kCongestion;
+  /// Records of queue-depth skew tolerated before congestion routing diverts
+  /// a record off its round-robin partition.
+  size_t routing_slack = 64;
+  /// Survive node death: plan partitions over the live membership roster,
+  /// lease pulled batches for at-least-once redelivery, and relocate the
+  /// partitions of a node that dies mid-feed onto survivors (WAL + PK
+  /// idempotence keep the stored contents bit-identical). Off by default:
+  /// non-HA feeds keep the fail-fast pre-HA behavior and zero ledger cost.
+  bool ha_failover = false;
+  /// Distinct dead nodes a feed survives before giving up (ha_failover).
+  uint32_t max_failovers = 2;
   /// When non-empty, a failed feed writes a post-mortem (final metrics +
   /// flight-recorder dump, one JSON object) to
   /// `<post_mortem_dir>/<feed>.postmortem.json` — no live admin endpoint
@@ -96,6 +124,12 @@ struct FeedRuntimeStats {
   uint64_t storage_queue_high_watermark = 0;  // max frames queued on any node
   uint64_t blocked_pushes = 0;  // intake pushes stalled on a full queue
   uint64_t blocked_pulls = 0;   // batch pulls that waited for records
+
+  // HA summary (ha_failover feeds).
+  uint64_t failovers = 0;           // partition-map re-plans after node deaths
+  uint64_t records_redelivered = 0; // unacked records re-queued (at-least-once)
+  double last_recovery_us = 0;      // re-plan duration of the latest failover
+  double recovery_to_resume_us = 0; // latest failover -> next successful batch
 
   double RefreshPeriodMicros() const {
     return computing_jobs == 0 ? 0 : compute_micros_total / static_cast<double>(computing_jobs);

@@ -7,6 +7,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "runtime/memory_governor.h"
 
 namespace idea::feed {
 
@@ -24,124 +25,202 @@ StorageJob::~StorageJob() {
   Join();
 }
 
-Status StorageJob::Start() {
+Status StorageJob::Start(const std::vector<size_t>* pmap) {
   const size_t nodes = cluster_->node_count();
-  for (size_t p = 0; p < nodes; ++p) {
+  std::vector<size_t> identity;
+  if (pmap == nullptr) {
+    identity.resize(nodes);
+    for (size_t p = 0; p < nodes; ++p) identity[p] = p;
+    pmap = &identity;
+  }
+  obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.storage." + feed_name_);
+  store_us_ = scope.Histogram("store_us");
+  commit_us_ = scope.Histogram("commit_us");
+  frames_stored_ = scope.Counter("frames");
+  records_metric_ = scope.Counter("records");
+  for (size_t p = 0; p < pmap->size(); ++p) {
+    const size_t node = (*pmap)[p];
     auto holder = std::make_shared<runtime::StoragePartitionHolder>(
         runtime::PartitionHolderId{feed_name_, "storage", p});
     holder->set_push_deadline_us(config_.holder_push_deadline_us);
-    IDEA_RETURN_NOT_OK(cluster_->node(p).holders().RegisterStorage(holder));
-    holders_.push_back(std::move(holder));
-  }
-  obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.storage." + feed_name_);
-  obs::Histogram* store_us = scope.Histogram("store_us");
-  obs::Histogram* commit_us = scope.Histogram("commit_us");
-  obs::Counter* frames_stored = scope.Counter("frames");
-  obs::Counter* records_metric = scope.Counter("records");
-  for (size_t p = 0; p < nodes; ++p) {
-    // The drain loop is a long-lived task collocated with partition p's
-    // holder. Under the abort policy the first write failure poisons the
-    // holder (blocked producers fail fast instead of wedging against a dead
-    // consumer); under skip/dead-letter the loop keeps draining and applies
-    // the policy per record.
-    Status launched = drain_tasks_.Launch(
-        &cluster_->node(p).scheduler(),
-        [this, p, store_us, commit_us, frames_stored, records_metric]() -> Status {
-          obs::Tracer& tracer = obs::Tracer::Default();
-          const uint64_t salt =
-              common::StableHash64(feed_name_) ^ (0x5374ull << 32) ^ p;
-          // Retries or a dead-letter policy need the record again after a
-          // failed attempt; only then pay a copy per attempt (the plain path
-          // keeps the seed's zero-copy move into the LSM).
-          const bool keep_record =
-              config_.max_retries > 0 ||
-              (config_.on_error == OnError::kDeadLetter && dlq_ != nullptr);
-          runtime::Frame frame;
-          while (holders_[p]->Pop(&frame)) {
-            auto upsert_one = [&](adm::Value& rec) -> Status {
-              Status st;
-              for (uint32_t attempt = 0;; ++attempt) {
-                st = IDEA_FAULT_HIT("storage.apply");
-                if (st.ok()) {
-                  st = dataset_->Upsert(keep_record ? adm::Value(rec)
-                                                    : std::move(rec));
-                }
-                if (st.ok() || st.code() == StatusCode::kAborted ||
-                    attempt >= config_.max_retries) {
-                  return st;
-                }
-                retries_.fetch_add(1, std::memory_order_relaxed);
-                obs::FlightRecorder::Default().Record(
-                    obs::FlightEventKind::kRetry, feed_name_, "storage",
-                    static_cast<int>(p), attempt + 1);
-                uint64_t us = common::RetryBackoffMicros(config_.retry_backoff_us,
-                                                         attempt, salt);
-                if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
-              }
-            };
-            auto store = [&]() -> Status {
-              // Hash partitioner: records are routed to their storage partition
-              // by primary key; partitions share one LSM store in this
-              // simulator, so routing reduces to direct upserts. Records are
-              // materialized one at a time straight off the frame bytes.
-              runtime::FrameView view(frame);
-              double t0 = obs::NowMicros();
-              for (size_t i = 0; i < view.size(); ++i) {
-                IDEA_ASSIGN_OR_RETURN(adm::Value rec, view[i].Decode());
-                Status written = upsert_one(rec);
-                if (written.ok()) {
-                  stored_.fetch_add(1, std::memory_order_relaxed);
-                  continue;
-                }
-                if (config_.on_error == OnError::kDeadLetter && dlq_ != nullptr) {
-                  dlq_->Add(DeadLetter{rec.ToString(), "storage", written,
-                                       config_.max_retries + 1});
-                  dead_letters_.fetch_add(1, std::memory_order_relaxed);
-                } else if (config_.on_error == OnError::kSkip) {
-                  skipped_.fetch_add(1, std::memory_order_relaxed);
-                } else {
-                  return written;
-                }
-              }
-              double t1 = obs::NowMicros();
-              store_us->Record(t1 - t0);
-              tracer.AddSpan(frame.trace_id(), obs::Span{"storage.store",
-                                                         static_cast<int>(p), t0, t1 - t0});
-              records_metric->Add(view.size());
-              frames_stored->Increment();
-              // Group commit: the batch is durable once the log flush returns
-              // (paper §5.2).
-              double t2 = obs::NowMicros();
-              Status flushed = dataset_->FlushWal();
-              commit_us->Record(obs::NowMicros() - t2);
-              tracer.AddSpan(frame.trace_id(),
-                             obs::Span{"storage.flush", static_cast<int>(p), t2,
-                                       obs::NowMicros() - t2});
-              return flushed;
-            };
-            Status stored = store();
-            if (!stored.ok()) {
-              error_.Set(stored);
-              if (config_.on_error == OnError::kAbort) {
-                // Dead-node model: stop consuming and fail producers fast.
-                holders_[p]->Abort(stored);
-                break;
-              }
-            }
-          }
-          return Status::OK();
-        });
-    if (!launched.ok()) return launched;
+    IDEA_RETURN_NOT_OK(cluster_->node(node).holders().RegisterStorage(holder));
+    {
+      std::unique_lock<std::shared_mutex> lock(slots_mu_);
+      slots_.push_back(Slot{holder, node});
+    }
+    IDEA_RETURN_NOT_OK(LaunchDrain(p, node, std::move(holder)));
   }
   return Status::OK();
 }
 
+Status StorageJob::LaunchDrain(size_t p, size_t node,
+                               std::shared_ptr<runtime::StoragePartitionHolder> holder) {
+  // The drain loop is a long-lived task collocated with partition p's
+  // holder. Under the abort policy the first write failure poisons the
+  // holder (blocked producers fail fast instead of wedging against a dead
+  // consumer); under skip/dead-letter the loop keeps draining and applies
+  // the policy per record. The loop is bound to this holder *instance*:
+  // after a relocation the poisoned holder drains to false and the loop
+  // exits, leaving the replacement loop (launched on the target node) as
+  // the partition's sole consumer.
+  return drain_tasks_.Launch(
+      &cluster_->node(node).scheduler(),
+      [this, p, node, holder = std::move(holder)]() -> Status {
+        obs::Tracer& tracer = obs::Tracer::Default();
+        runtime::MemoryGovernor& memgov = cluster_->node(node).memgov();
+        const uint64_t salt =
+            common::StableHash64(feed_name_) ^ (0x5374ull << 32) ^ p;
+        // Retries or a dead-letter policy need the record again after a
+        // failed attempt; only then pay a copy per attempt (the plain path
+        // keeps the seed's zero-copy move into the LSM).
+        const bool keep_record =
+            config_.max_retries > 0 ||
+            (config_.on_error == OnError::kDeadLetter && dlq_ != nullptr);
+        runtime::Frame frame;
+        while (holder->Pop(&frame)) {
+          // Liveness probe: the node.kill fault site fires here, modeling the
+          // drain's node dying between frames. A dead verdict is NOT a feed
+          // error — the holder is poisoned so stranded producers re-resolve,
+          // and the Active Feed Manager relocates the partition.
+          Status alive = cluster_->CheckAlive(node);
+          if (alive.IsUnavailable()) {
+            holder->Abort(alive);
+            break;
+          }
+          // Admit the frame's bytes against the node budget. A spill verdict
+          // means the node is over-committed: shed the memtable (freeing heap
+          // the governor tracks for the LSM side) and proceed unreserved.
+          const uint64_t frame_bytes = frame.byte_size();
+          runtime::Admission admit = memgov.Admit(frame_bytes);
+          if (admit == runtime::Admission::kSpill) {
+            spills_.fetch_add(1, std::memory_order_relaxed);
+            (void)dataset_->FlushMemTable();
+          }
+          auto upsert_one = [&](adm::Value& rec) -> Status {
+            Status st;
+            for (uint32_t attempt = 0;; ++attempt) {
+              st = IDEA_FAULT_HIT("storage.apply");
+              if (st.ok()) {
+                st = dataset_->Upsert(keep_record ? adm::Value(rec)
+                                                  : std::move(rec));
+              }
+              if (st.ok() || st.code() == StatusCode::kAborted ||
+                  attempt >= config_.max_retries) {
+                return st;
+              }
+              retries_.fetch_add(1, std::memory_order_relaxed);
+              obs::FlightRecorder::Default().Record(
+                  obs::FlightEventKind::kRetry, feed_name_, "storage",
+                  static_cast<int>(p), attempt + 1);
+              uint64_t us = common::RetryBackoffMicros(config_.retry_backoff_us,
+                                                       attempt, salt);
+              if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+            }
+          };
+          auto store = [&]() -> Status {
+            // Hash partitioner: records are routed to their storage partition
+            // by primary key; partitions share one LSM store in this
+            // simulator, so routing reduces to direct upserts. Records are
+            // materialized one at a time straight off the frame bytes.
+            runtime::FrameView view(frame);
+            double t0 = obs::NowMicros();
+            for (size_t i = 0; i < view.size(); ++i) {
+              IDEA_ASSIGN_OR_RETURN(adm::Value rec, view[i].Decode());
+              Status written = upsert_one(rec);
+              if (written.ok()) {
+                stored_.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+              if (config_.on_error == OnError::kDeadLetter && dlq_ != nullptr) {
+                dlq_->Add(DeadLetter{rec.ToString(), "storage", written,
+                                     config_.max_retries + 1});
+                dead_letters_.fetch_add(1, std::memory_order_relaxed);
+              } else if (config_.on_error == OnError::kSkip) {
+                skipped_.fetch_add(1, std::memory_order_relaxed);
+              } else {
+                return written;
+              }
+            }
+            double t1 = obs::NowMicros();
+            store_us_->Record(t1 - t0);
+            tracer.AddSpan(frame.trace_id(), obs::Span{"storage.store",
+                                                       static_cast<int>(p), t0, t1 - t0});
+            records_metric_->Add(view.size());
+            frames_stored_->Increment();
+            // Group commit: the batch is durable once the log flush returns
+            // (paper §5.2).
+            double t2 = obs::NowMicros();
+            Status flushed = dataset_->FlushWal();
+            commit_us_->Record(obs::NowMicros() - t2);
+            tracer.AddSpan(frame.trace_id(),
+                           obs::Span{"storage.flush", static_cast<int>(p), t2,
+                                     obs::NowMicros() - t2});
+            // Durable: retire this frame against its intake lease so the
+            // at-least-once ledger stops tracking it.
+            if (flushed.ok() && ack_fn_ && frame.lease_id() != 0) {
+              ack_fn_(frame.origin_partition(), frame.lease_id());
+            }
+            return flushed;
+          };
+          Status stored = store();
+          if (admit != runtime::Admission::kSpill) memgov.Release(frame_bytes);
+          if (!stored.ok()) {
+            error_.Set(stored);
+            if (config_.on_error == OnError::kAbort) {
+              // Dead-node model: stop consuming and fail producers fast.
+              holder->Abort(stored);
+              break;
+            }
+          }
+        }
+        return Status::OK();
+      });
+}
+
+Status StorageJob::RelocatePartition(size_t p, size_t target_node) {
+  std::shared_ptr<runtime::StoragePartitionHolder> old_holder;
+  size_t old_node = 0;
+  std::shared_ptr<runtime::StoragePartitionHolder> fresh;
+  {
+    std::unique_lock<std::shared_mutex> lock(slots_mu_);
+    if (p >= slots_.size()) {
+      return Status::NotFound("storage: no partition " + std::to_string(p));
+    }
+    Slot& slot = slots_[p];
+    if (slot.node == target_node) return Status::OK();
+    old_holder = slot.holder;
+    old_node = slot.node;
+    fresh = std::make_shared<runtime::StoragePartitionHolder>(
+        runtime::PartitionHolderId{feed_name_, "storage", p});
+    fresh->set_push_deadline_us(config_.holder_push_deadline_us);
+    slot.holder = fresh;
+    slot.node = target_node;
+  }
+  // Poison the stranded holder: its drain loop (on the dead node) exits, and
+  // blocked computing-job pushes fail fast with kUnavailable so they retry
+  // against the refreshed roster. Frames queued there are dropped — their
+  // leases stay unacked, so redelivery reconstructs the records.
+  old_holder->Abort(Status::Unavailable("node-" + std::to_string(old_node) +
+                                        " died; storage partition " +
+                                        std::to_string(p) + " relocating"));
+  (void)cluster_->node(old_node).holders().Unregister(old_holder->id());
+  IDEA_RETURN_NOT_OK(cluster_->node(target_node).holders().RegisterStorage(fresh));
+  obs::FlightRecorder::Default().Record(
+      obs::FlightEventKind::kFailover, feed_name_,
+      "storage partition " + std::to_string(p) + ": node-" + std::to_string(old_node) +
+          " -> node-" + std::to_string(target_node),
+      static_cast<int>(p));
+  return LaunchDrain(p, target_node, std::move(fresh));
+}
+
 void StorageJob::Close() {
-  for (auto& h : holders_) h->Close();
+  std::shared_lock<std::shared_mutex> lock(slots_mu_);
+  for (auto& s : slots_) s.holder->Close();
 }
 
 void StorageJob::Abort(Status cause) {
-  for (auto& h : holders_) h->Abort(cause);
+  std::shared_lock<std::shared_mutex> lock(slots_mu_);
+  for (auto& s : slots_) s.holder->Abort(cause);
 }
 
 void StorageJob::Join() {

@@ -5,10 +5,20 @@
 // partitions), and writes them to the LSM dataset, group-committing the WAL
 // per frame. Drain loops run as long-lived tasks on their node's persistent
 // scheduler.
+//
+// HA additions: partitions are placed by a partition map (pmap) and can be
+// relocated to a surviving node when theirs dies (RelocatePartition — the
+// old holder is poisoned, a fresh holder plus drain task start on the
+// target). Frames carry (origin_partition, lease_id); after a frame's WAL
+// group-commit the ack hook reports it durable so the intake ledger can
+// retire the lease. Frame memory is admitted through the hosting node's
+// MemoryGovernor — a spill verdict sheds the memtable before storing.
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "cluster/cluster_controller.h"
@@ -20,7 +30,15 @@
 #include "runtime/task_scheduler.h"
 #include "storage/lsm_dataset.h"
 
+namespace idea::obs {
+class Counter;
+class Histogram;
+}  // namespace idea::obs
+
 namespace idea::feed {
+
+/// Called once per durably committed frame: (origin intake partition, lease).
+using FrameAckFn = std::function<void(size_t, uint64_t)>;
 
 class StorageJob {
  public:
@@ -32,9 +50,20 @@ class StorageJob {
              FeedConfig config = FeedConfig(), DeadLetterQueue* dlq = nullptr);
   ~StorageJob();
 
-  /// Registers storage partition holders on every node and starts the drain
-  /// tasks on the node schedulers.
-  Status Start();
+  /// Registers storage partition holders (partition p on node pmap[p]; null =
+  /// identity over the cluster's node count) and starts the drain tasks on
+  /// the node schedulers.
+  Status Start(const std::vector<size_t>* pmap = nullptr);
+
+  /// Installs the durable-frame hook (must be set before frames flow; the
+  /// Active Feed Manager wires it to IntakeJob::AckFrame for HA feeds).
+  void set_frame_ack(FrameAckFn fn) { ack_fn_ = std::move(fn); }
+
+  /// Moves partition `p` to `target_node`: the old holder is poisoned with
+  /// kUnavailable (its drain loop exits; queued frames there are lost — the
+  /// intake lease ledger redelivers their records) and a fresh holder plus
+  /// drain task start on the target.
+  Status RelocatePartition(size_t p, size_t target_node);
 
   /// Closes the holders; drain tasks finish after the backlog empties.
   void Close();
@@ -52,27 +81,56 @@ class StorageJob {
   uint64_t dead_letters() const { return dead_letters_.load(std::memory_order_relaxed); }
   /// Write retry attempts spent by the drain loops.
   uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  /// Memtable sheds forced by memory-governor spill verdicts.
+  uint64_t governor_spills() const { return spills_.load(std::memory_order_relaxed); }
   /// First storage error (storage failures surface at feed completion).
   Status first_error() const { return error_.Get(); }
 
-  std::shared_ptr<runtime::StoragePartitionHolder> holder(size_t node) const {
-    return holders_[node];
+  std::shared_ptr<runtime::StoragePartitionHolder> holder(size_t partition) const {
+    std::shared_lock<std::shared_mutex> lock(slots_mu_);
+    return slots_[partition].holder;
+  }
+  /// Node currently hosting partition `p`'s holder.
+  size_t partition_node(size_t p) const {
+    std::shared_lock<std::shared_mutex> lock(slots_mu_);
+    return slots_[p].node;
   }
 
  private:
+  struct Slot {
+    std::shared_ptr<runtime::StoragePartitionHolder> holder;
+    size_t node = 0;
+  };
+
+  /// Starts the drain loop for `holder` (partition `p`) on `node`'s
+  /// scheduler. The loop is bound to this holder instance: relocation aborts
+  /// the old holder (its loop exits) and launches a new loop here.
+  Status LaunchDrain(size_t p, size_t node,
+                     std::shared_ptr<runtime::StoragePartitionHolder> holder);
+
   std::string feed_name_;
   cluster::Cluster* cluster_;
   std::shared_ptr<storage::LsmDataset> dataset_;
   FeedConfig config_;
   DeadLetterQueue* dlq_;
-  std::vector<std::shared_ptr<runtime::StoragePartitionHolder>> holders_;
+  FrameAckFn ack_fn_;
+  /// Guards slots_ swaps (relocation); drain/holder reads take shared locks.
+  mutable std::shared_mutex slots_mu_;
+  std::vector<Slot> slots_;
   runtime::TaskGroup drain_tasks_;
   std::atomic<uint64_t> stored_{0};
   std::atomic<uint64_t> skipped_{0};
   std::atomic<uint64_t> dead_letters_{0};
   std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> spills_{0};
   common::FirstError error_;
   bool joined_ = false;
+
+  // Shared drain metrics (created in Start, used by every drain loop).
+  obs::Histogram* store_us_ = nullptr;
+  obs::Histogram* commit_us_ = nullptr;
+  obs::Counter* frames_stored_ = nullptr;
+  obs::Counter* records_metric_ = nullptr;
 };
 
 }  // namespace idea::feed

@@ -100,6 +100,11 @@ void Instance::StartTelemetryPlane() {
     r.body = obs::FlightRecorder::Default().DumpJson();
     return r;
   });
+  admin_server_->Handle("/memgov", [this](const obs::HttpRequest&) {
+    obs::HttpResponse r;
+    r.body = cluster_->MemgovJson();
+    return r;
+  });
   Status st = admin_server_->Start();
   if (!st.ok()) {
     std::fprintf(stderr, "idea: admin server disabled: %s\n",
@@ -275,6 +280,20 @@ Result<adm::Array> Instance::ExecuteStatement(sqlpp::Statement stmt) {
       }
       if (!get("post-mortem-dir").empty()) {
         decl.config.post_mortem_dir = get("post-mortem-dir");
+      }
+      if (!get("routing").empty()) {
+        IDEA_ASSIGN_OR_RETURN(decl.config.routing,
+                              feed::ParseRoutingPolicy(get("routing")));
+      }
+      if (!get("routing-slack").empty()) {
+        decl.config.routing_slack = static_cast<size_t>(
+            std::strtoull(get("routing-slack").c_str(), nullptr, 10));
+      }
+      std::string ha = ToLowerAscii(get("ha-failover"));
+      decl.config.ha_failover = ha == "true" || ha == "yes";
+      if (!get("max-failovers").empty()) {
+        decl.config.max_failovers = static_cast<uint32_t>(
+            std::strtoul(get("max-failovers").c_str(), nullptr, 10));
       }
       feed_decls_.emplace(cf.name, std::move(decl));
       return adm::Array{};

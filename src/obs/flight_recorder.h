@@ -24,6 +24,10 @@ enum class FlightEventKind : uint8_t {
   kWalRecovery,
   kFaultFire,
   kHolderAbort,
+  kNodeSuspect,
+  kNodeDead,
+  kFailover,
+  kMemSpill,
 };
 
 const char* FlightEventKindName(FlightEventKind kind);

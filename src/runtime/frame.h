@@ -56,6 +56,15 @@ class Frame {
   uint64_t trace_id() const { return trace_id_; }
   void set_trace_id(uint64_t id) { trace_id_ = id; }
 
+  /// At-least-once bookkeeping (HA feeds): the intake lease the frame's
+  /// source batch was pulled under (0 = unleased) and the intake partition
+  /// it came from. The storage job acks (origin_partition, lease_id) back to
+  /// the intake holder after the frame's WAL group-commit.
+  uint64_t lease_id() const { return lease_id_; }
+  void set_lease_id(uint64_t id) { lease_id_ = id; }
+  size_t origin_partition() const { return origin_partition_; }
+  void set_origin_partition(size_t p) { origin_partition_ = p; }
+
   /// Builds a frame from a record span.
   static Frame FromRecords(const std::vector<adm::Value>& records);
 
@@ -76,6 +85,8 @@ class Frame {
   std::vector<uint32_t> slot_begin_;  // per record: first index into slots_
   std::vector<FieldSlot> slots_;      // top-level field index, all records
   uint64_t trace_id_ = 0;
+  uint64_t lease_id_ = 0;
+  size_t origin_partition_ = 0;
 };
 
 /// Cursor over one serialized record inside a Frame. Cheap to construct and

@@ -1,0 +1,104 @@
+#include "runtime/memory_governor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace idea::runtime {
+
+MemoryGovernor::MemoryGovernor(std::string node_id, MemoryGovernorOptions options)
+    : node_id_(std::move(node_id)), options_(options) {
+  obs::Scope scope(&obs::MetricsRegistry::Default(), "idea.memgov." + node_id_);
+  admitted_ = scope.Counter("admitted");
+  delayed_ = scope.Counter("delayed");
+  spills_ = scope.Counter("spills");
+  used_gauge_ = scope.Gauge("used_bytes");
+  spilled_bytes_ = scope.Gauge("spilled_bytes");
+  scope.Gauge("budget_bytes")->Set(static_cast<int64_t>(options_.budget_bytes));
+}
+
+void MemoryGovernor::CountSpillLocked(uint64_t bytes, const char* why) {
+  ++local_.spills;
+  spills_->Increment();
+  spilled_bytes_->Add(static_cast<int64_t>(bytes));
+  obs::FlightRecorder::Default().Record(obs::FlightEventKind::kMemSpill, node_id_, why, -1,
+                                        bytes);
+}
+
+void MemoryGovernor::SetUsedLocked(uint64_t used) {
+  used_ = used;
+  local_.used_high_watermark = std::max(local_.used_high_watermark, used_);
+  used_gauge_->Set(static_cast<int64_t>(used_));
+}
+
+Admission MemoryGovernor::Admit(uint64_t bytes) {
+  if (bytes == 0) return Admission::kGranted;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (bytes > options_.budget_bytes) {
+    // Could never fit; shedding is the only option.
+    CountSpillLocked(bytes, "oversized admit");
+    return Admission::kSpill;
+  }
+  if (used_ + bytes <= options_.budget_bytes) {
+    SetUsedLocked(used_ + bytes);
+    ++local_.admitted;
+    admitted_->Increment();
+    return Admission::kGranted;
+  }
+  const bool fit = cv_.wait_for(lock, std::chrono::microseconds(options_.max_delay_us),
+                                [&] { return used_ + bytes <= options_.budget_bytes; });
+  if (fit) {
+    SetUsedLocked(used_ + bytes);
+    ++local_.admitted;
+    ++local_.delayed;
+    admitted_->Increment();
+    delayed_->Increment();
+    return Admission::kGrantedAfterDelay;
+  }
+  CountSpillLocked(bytes, "admission timeout");
+  return Admission::kSpill;
+}
+
+void MemoryGovernor::Release(uint64_t bytes) {
+  if (bytes == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SetUsedLocked(used_ - std::min(used_, bytes));
+  }
+  cv_.notify_all();
+}
+
+Admission MemoryGovernor::UpdateHold(uint64_t* hold, uint64_t want) {
+  if (want <= *hold) {
+    Release(*hold - want);
+    *hold = want;
+    return Admission::kGranted;
+  }
+  const uint64_t growth = want - *hold;
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t room = options_.budget_bytes - std::min(options_.budget_bytes, used_);
+  const uint64_t granted = std::min(growth, room);
+  SetUsedLocked(used_ + granted);
+  *hold += granted;
+  if (granted < growth) {
+    // Long-lived holds do not block the node: take what fits now, count the
+    // rest as spilled (the plan's own would-spill machinery handles it).
+    CountSpillLocked(growth - granted, "hold capped at budget");
+    return Admission::kSpill;
+  }
+  ++local_.admitted;
+  admitted_->Increment();
+  return Admission::kGranted;
+}
+
+MemoryGovernorStats MemoryGovernor::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MemoryGovernorStats s = local_;
+  s.used_bytes = used_;
+  s.budget_bytes = options_.budget_bytes;
+  return s;
+}
+
+}  // namespace idea::runtime

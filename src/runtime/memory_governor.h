@@ -1,0 +1,96 @@
+// Per-node memory admission control (qserv memman idiom): every consumer of
+// bounded node memory — storage memtables absorbing frames, enrichment-plan
+// hash builds — asks the node's governor for room *before* allocating, so
+// concurrent feeds on one node degrade (brief delay, then spill) instead of
+// OOMing. The governor never admits past its budget: Admit() either grants
+// within the budget, grants after a bounded wait for released memory, or
+// tells the caller to shed load (kSpill) — in which case the caller proceeds
+// without a reservation but flushes/spills its own state to compensate.
+//
+// Everything is process-local and deterministic-friendly: the only time
+// dependence is the bounded cv wait in Admit, which callers in virtual-time
+// benches avoid by sizing budgets sanely.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace idea::obs {
+class Counter;
+class Gauge;
+}  // namespace idea::obs
+
+namespace idea::runtime {
+
+struct MemoryGovernorOptions {
+  /// Total budget for governed allocations on this node.
+  uint64_t budget_bytes = 256ull << 20;
+  /// Longest an Admit() call may block waiting for releases before it is told
+  /// to spill instead.
+  uint64_t max_delay_us = 2000;
+};
+
+enum class Admission : uint8_t {
+  kGranted,            ///< Room available immediately; reservation taken.
+  kGrantedAfterDelay,  ///< Reservation taken after blocking on releases.
+  kSpill,              ///< No room within max_delay_us; NO reservation taken —
+                       ///< caller must shed (flush memtable / spill build).
+};
+
+struct MemoryGovernorStats {
+  uint64_t admitted = 0;
+  uint64_t delayed = 0;
+  uint64_t spills = 0;
+  uint64_t used_bytes = 0;
+  uint64_t used_high_watermark = 0;
+  uint64_t budget_bytes = 0;
+};
+
+class MemoryGovernor {
+ public:
+  /// `node_id` scopes the idea.memgov.<node_id>.* metric series.
+  MemoryGovernor(std::string node_id, MemoryGovernorOptions options = {});
+
+  /// Requests a reservation of `bytes`. Blocks up to max_delay_us for
+  /// releases when over budget; returns kSpill (and reserves nothing) when
+  /// room never appears. Oversized single requests (> budget) spill
+  /// immediately rather than deadlocking.
+  Admission Admit(uint64_t bytes);
+
+  /// Returns a reservation previously granted by Admit/UpdateHold.
+  void Release(uint64_t bytes);
+
+  /// Adjusts a long-lived hold (enrichment hash builds resized on refresh):
+  /// shrinks release immediately; growth is admitted like Admit() but capped
+  /// at the budget — on kSpill the hold is left at the largest granted size
+  /// and the overflow is counted as spilled. `*hold` is updated to the bytes
+  /// actually reserved; callers release the final hold on teardown.
+  Admission UpdateHold(uint64_t* hold, uint64_t want);
+
+  MemoryGovernorStats Stats() const;
+  uint64_t budget_bytes() const { return options_.budget_bytes; }
+  const std::string& node_id() const { return node_id_; }
+
+ private:
+  void CountSpillLocked(uint64_t bytes, const char* why);
+  void SetUsedLocked(uint64_t used);
+
+  std::string node_id_;
+  MemoryGovernorOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t used_ = 0;
+  /// Per-instance stats (registry series are process-cumulative across
+  /// same-named nodes; tests want exact per-governor numbers).
+  MemoryGovernorStats local_;
+
+  obs::Counter* admitted_;
+  obs::Counter* delayed_;
+  obs::Counter* spills_;
+  obs::Gauge* used_gauge_;
+  obs::Gauge* spilled_bytes_;
+};
+
+}  // namespace idea::runtime

@@ -1,5 +1,6 @@
 #include "runtime/partition_holder.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/fault_injection.h"
@@ -36,14 +37,15 @@ void HolderMetrics::Init(const PartitionHolderId& id, obs::MetricsRegistry* regi
   push_block_us = scope.Histogram("push_block_us");
   pull_block_us = scope.Histogram("pull_block_us");
   // Registry series are cumulative per name; remember where this holder
-  // instance starts so stats() reports only its own traffic.
+  // instance starts so stats() reports only its own traffic. The depth gauge
+  // is NOT zeroed here: it is delta-maintained, and an absolute write would
+  // stomp a live same-named instance (relocation overlap, abort/drain race).
   base.records_in = records_in->value();
   base.records_out = records_out->value();
   base.pushes = pushes->value();
   base.pulls = pulls->value();
   base.blocked_pushes = blocked_pushes->value();
   base.blocked_pulls = blocked_pulls->value();
-  queue_depth->Set(0);
 }
 
 HolderStats HolderMetrics::View() const {
@@ -54,13 +56,27 @@ HolderStats HolderMetrics::View() const {
   s.pulls = pulls->value() - base.pulls;
   s.blocked_pushes = blocked_pushes->value() - base.blocked_pushes;
   s.blocked_pulls = blocked_pulls->value() - base.blocked_pulls;
-  int64_t depth = queue_depth->value();
-  s.queue_depth = depth < 0 ? 0 : static_cast<uint64_t>(depth);
+  // Exact by construction (deltas net out); holders overwrite with their own
+  // deque size anyway so a shared series never bleeds between instances.
+  s.queue_depth = static_cast<uint64_t>(std::max<int64_t>(0, queue_depth->value()));
   s.queue_depth_high_watermark = static_cast<uint64_t>(queue_depth->high_watermark());
   return s;
 }
 
-Status IntakePartitionHolder::Push(std::string raw_record) {
+void IntakePartitionHolder::SetDepthLocked(size_t depth) {
+  const int64_t delta =
+      static_cast<int64_t>(depth) -
+      static_cast<int64_t>(approx_depth_.load(std::memory_order_relaxed));
+  if (delta != 0) metrics_.queue_depth->Add(delta);
+  approx_depth_.store(depth, std::memory_order_relaxed);
+}
+
+IntakePartitionHolder::~IntakePartitionHolder() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SetDepthLocked(0);  // return this instance's contribution to the shared gauge
+}
+
+Status IntakePartitionHolder::Push(std::string&& raw_record) {
   IDEA_RETURN_NOT_OK(IDEA_FAULT_HIT("holder.push"));
   std::unique_lock<std::mutex> lock(mu_);
   if (records_.size() >= capacity_ && !eof_) {
@@ -80,7 +96,7 @@ Status IntakePartitionHolder::Push(std::string raw_record) {
   records_.push_back(std::move(raw_record));
   metrics_.records_in->Increment();
   metrics_.pushes->Increment();
-  metrics_.queue_depth->Set(static_cast<int64_t>(records_.size()));
+  SetDepthLocked(records_.size());
   can_pull_.notify_one();
   return Status::OK();
 }
@@ -92,9 +108,11 @@ void IntakePartitionHolder::PushEof() {
   can_push_.notify_all();
 }
 
-bool IntakePartitionHolder::PullBatch(size_t max_records, std::vector<std::string>* out) {
+bool IntakePartitionHolder::PullBatch(size_t max_records, std::vector<std::string>* out,
+                                      uint64_t* lease_out) {
   // Pulls report via bool; only delay faults apply here (slow consumer).
   (void)IDEA_FAULT_HIT("holder.pop");
+  if (lease_out != nullptr) *lease_out = 0;
   std::unique_lock<std::mutex> lock(mu_);
   // Wait for a full batch or EOF (paper §6.1: on EOF the computing job runs
   // with whatever was collected).
@@ -111,11 +129,109 @@ bool IntakePartitionHolder::PullBatch(size_t max_records, std::vector<std::strin
     out->push_back(std::move(records_.front()));
     records_.pop_front();
   }
+  if (lease_counter_ != nullptr && lease_out != nullptr && n > 0) {
+    // Retain a copy under a fresh lease until storage acks every frame the
+    // batch ships; the feed-global counter keeps ids unique across holder
+    // relocations.
+    const uint64_t lease = lease_counter_->fetch_add(1, std::memory_order_relaxed) + 1;
+    *lease_out = lease;
+    LeaseEntry& entry = inflight_[lease];
+    entry.records.assign(out->end() - static_cast<ptrdiff_t>(n), out->end());
+  }
   metrics_.records_out->Add(n);
   metrics_.pulls->Increment();
-  metrics_.queue_depth->Set(static_cast<int64_t>(records_.size()));
+  SetDepthLocked(records_.size());
   can_push_.notify_all();
   return true;
+}
+
+void IntakePartitionHolder::EnableLeasing(std::atomic<uint64_t>* lease_counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lease_counter_ = lease_counter;
+}
+
+void IntakePartitionHolder::CloseLease(uint64_t lease, size_t frames_shipped) {
+  if (lease == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(lease);
+  if (it == inflight_.end()) return;
+  if (frames_shipped == 0) {
+    // Nothing shipped (all records rejected/skipped): nothing to redeliver.
+    inflight_.erase(it);
+    return;
+  }
+  it->second.closed = true;
+  it->second.expected_frames = frames_shipped;
+  if (it->second.acked_frames >= it->second.expected_frames) inflight_.erase(it);
+}
+
+void IntakePartitionHolder::AckFrame(uint64_t lease) {
+  if (lease == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(lease);
+  if (it == inflight_.end()) return;  // late ack after a redelivery round
+  ++it->second.acked_frames;
+  if (it->second.closed && it->second.acked_frames >= it->second.expected_frames) {
+    inflight_.erase(it);
+  }
+}
+
+size_t IntakePartitionHolder::RedeliverUnacked() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t redelivered = 0;
+  // Walk leases newest-first, prepending each batch (itself reversed), so the
+  // queue front ends up oldest-lease-first in original record order.
+  for (auto it = inflight_.rbegin(); it != inflight_.rend(); ++it) {
+    std::vector<std::string>& batch = it->second.records;
+    redelivered += batch.size();
+    for (auto r = batch.rbegin(); r != batch.rend(); ++r) {
+      records_.push_front(std::move(*r));
+    }
+  }
+  inflight_.clear();
+  if (redelivered > 0) {
+    SetDepthLocked(records_.size());
+    can_pull_.notify_all();
+  }
+  return redelivered;
+}
+
+IntakePartitionHolder::ExtractedState IntakePartitionHolder::ExtractForRelocation(
+    Status cause) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ExtractedState state;
+  for (auto& [lease, entry] : inflight_) {
+    for (std::string& r : entry.records) state.records.push_back(std::move(r));
+  }
+  inflight_.clear();
+  for (std::string& r : records_) state.records.push_back(std::move(r));
+  records_.clear();
+  state.eof = eof_;
+  state.push_deadline_us = push_deadline_us_.load();
+  SetDepthLocked(0);
+  if (abort_cause_.ok()) {
+    abort_cause_ =
+        cause.ok() ? Status::Unavailable("intake holder relocated") : std::move(cause);
+    obs::FlightRecorder::Default().Record(
+        obs::FlightEventKind::kHolderAbort, id_.feed,
+        id_.ToString() + ": relocated: " + abort_cause_.ToString(),
+        static_cast<int>(id_.partition));
+  }
+  eof_ = true;  // stranded pulls return false; stranded pushes fail with cause
+  can_pull_.notify_all();
+  can_push_.notify_all();
+  return state;
+}
+
+void IntakePartitionHolder::PreloadForRelocation(ExtractedState state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::string& r : state.records) records_.push_back(std::move(r));
+  // Depth only: the records were already counted as records_in/pushes when
+  // first pushed, and the registry series are cumulative.
+  SetDepthLocked(records_.size());
+  eof_ = state.eof;
+  push_deadline_us_.store(state.push_deadline_us);
+  can_pull_.notify_all();
 }
 
 void IntakePartitionHolder::Abort(Status cause) {
@@ -141,7 +257,32 @@ bool IntakePartitionHolder::ExhaustedForTest() const {
   return eof_ && records_.empty();
 }
 
-HolderStats IntakePartitionHolder::stats() const { return metrics_.View(); }
+size_t IntakePartitionHolder::UnackedForTest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [lease, entry] : inflight_) n += entry.records.size();
+  return n;
+}
+
+HolderStats IntakePartitionHolder::stats() const {
+  HolderStats s = metrics_.View();
+  std::lock_guard<std::mutex> lock(mu_);
+  s.queue_depth = records_.size();  // this instance's exact depth
+  return s;
+}
+
+void StoragePartitionHolder::SetDepthLocked(size_t depth) {
+  const int64_t delta =
+      static_cast<int64_t>(depth) -
+      static_cast<int64_t>(approx_depth_.load(std::memory_order_relaxed));
+  if (delta != 0) metrics_.queue_depth->Add(delta);
+  approx_depth_.store(depth, std::memory_order_relaxed);
+}
+
+StoragePartitionHolder::~StoragePartitionHolder() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SetDepthLocked(0);  // return this instance's contribution to the shared gauge
+}
 
 Status StoragePartitionHolder::Push(Frame frame) {
   IDEA_RETURN_NOT_OK(IDEA_FAULT_HIT("holder.push"));
@@ -163,7 +304,7 @@ Status StoragePartitionHolder::Push(Frame frame) {
   metrics_.records_in->Add(frame.record_count());
   metrics_.pushes->Increment();
   frames_.push_back(std::move(frame));
-  metrics_.queue_depth->Set(static_cast<int64_t>(frames_.size()));
+  SetDepthLocked(frames_.size());
   can_pop_.notify_one();
   return Status::OK();
 }
@@ -183,7 +324,7 @@ bool StoragePartitionHolder::Pop(Frame* out) {
   frames_.pop_front();
   metrics_.records_out->Add(out->record_count());
   metrics_.pulls->Increment();
-  metrics_.queue_depth->Set(static_cast<int64_t>(frames_.size()));
+  SetDepthLocked(frames_.size());
   can_push_.notify_one();
   return true;
 }
@@ -205,9 +346,11 @@ void StoragePartitionHolder::Abort(Status cause) {
       static_cast<int>(id_.partition));
   closed_ = true;
   // Drop queued frames: nothing will drain them, and a full queue would keep
-  // producers blocked even though closed_ wakes them.
+  // producers blocked even though closed_ wakes them. The depth gauge walks
+  // back by exactly what this instance drops — an absolute Set(0) here would
+  // erase a live sibling's contribution during an abort/drain race.
   frames_.clear();
-  metrics_.queue_depth->Set(0);
+  SetDepthLocked(0);
   can_pop_.notify_all();
   can_push_.notify_all();
 }
@@ -217,7 +360,12 @@ Status StoragePartitionHolder::first_error() const {
   return abort_cause_;
 }
 
-HolderStats StoragePartitionHolder::stats() const { return metrics_.View(); }
+HolderStats StoragePartitionHolder::stats() const {
+  HolderStats s = metrics_.View();
+  std::lock_guard<std::mutex> lock(mu_);
+  s.queue_depth = frames_.size();  // this instance's exact depth
+  return s;
+}
 
 Status PartitionHolderManager::RegisterIntake(
     std::shared_ptr<IntakePartitionHolder> holder) {

@@ -10,6 +10,16 @@
 //
 // Each holder has a unique id (feed, role, partition) and registers with the
 // per-node PartitionHolderManager so jobs can locate their peers.
+//
+// HA additions (Grover & Carey at-least-once feeds): the intake holder keeps
+// a *lease ledger* of pulled-but-unacked batches. A computing invocation
+// pulls under a lease, ships N frames, and closes the lease; the storage job
+// acks each frame after its WAL group-commit. If the computing or storage
+// node dies in between, RedeliverUnacked() re-queues the leased records at
+// the front of the queue — duplicates are harmless because storage upserts
+// are PK-idempotent. ExtractForRelocation()/PreloadForRelocation() move a
+// partition's full state (queue + ledger + EOF flag) to a holder on a
+// surviving node.
 #pragma once
 
 #include <atomic>
@@ -19,6 +29,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "obs/metrics.h"
@@ -61,6 +72,13 @@ struct HolderStats {
 
 /// The registry metrics one holder records into, plus the construction-time
 /// baseline that makes HolderStats a per-instance view.
+///
+/// The queue_depth gauge is maintained with exact +/- deltas (never Set), so
+/// two live holder instances sharing a metric name — a relocation overlap,
+/// or an abort/drain race — see the gauge as the *sum* of their depths
+/// instead of stomping each other with absolute writes. Holders report their
+/// own exact deque size in stats(); the shared gauge feeds dashboards and
+/// high-watermark series.
 struct HolderMetrics {
   obs::Counter* records_in = nullptr;
   obs::Counter* records_out = nullptr;
@@ -87,14 +105,16 @@ class IntakePartitionHolder {
       : id_(std::move(id)), capacity_(capacity) {
     metrics_.Init(id_, registry);
   }
+  ~IntakePartitionHolder();
 
   const PartitionHolderId& id() const { return id_; }
 
   /// Enqueues one raw record; blocks while the holder is full — at most
   /// `push_deadline_us` (TimedOut beyond that; 0 = wait forever). A holder
   /// aborted mid-wait returns the abort status instead of deadlocking the
-  /// producer against a dead consumer.
-  Status Push(std::string raw_record);
+  /// producer against a dead consumer. On failure `raw_record` is left
+  /// intact (not moved-from), so routers can re-push it elsewhere.
+  Status Push(std::string&& raw_record);
   /// Marks end-of-feed: pending pulls complete with what they have.
   void PushEof();
 
@@ -110,12 +130,59 @@ class IntakePartitionHolder {
   /// Pulls up to `max_records`, blocking until the batch fills or EOF.
   /// Returns false when the holder is exhausted (EOF seen and drained) or
   /// aborted and drained.
-  bool PullBatch(size_t max_records, std::vector<std::string>* out);
+  ///
+  /// When leasing is enabled and `lease_out` is non-null, the pulled records
+  /// are additionally retained in the redelivery ledger under `*lease_out`
+  /// until the lease is closed and every shipped frame acked.
+  bool PullBatch(size_t max_records, std::vector<std::string>* out,
+                 uint64_t* lease_out = nullptr);
+
+  /// Arms at-least-once redelivery. `lease_counter` is feed-global so lease
+  /// ids stay unique across partition relocations.
+  void EnableLeasing(std::atomic<uint64_t>* lease_counter);
+  /// Declares how many frames the leased batch produced (0 acks the lease
+  /// immediately: nothing shipped means nothing to redeliver).
+  void CloseLease(uint64_t lease, size_t frames_shipped);
+  /// Acks one durably-stored frame of `lease`; the ledger entry is dropped
+  /// once closed and fully acked. Unknown leases are ignored (late acks
+  /// after a redelivery round).
+  void AckFrame(uint64_t lease);
+  /// Re-queues every unacked leased batch at the FRONT of the queue (lease
+  /// order, so redelivery preserves original intake order) and clears the
+  /// ledger. Returns the number of records re-queued.
+  size_t RedeliverUnacked();
+
+  /// Moved-out state of a holder being relocated off a dead node.
+  struct ExtractedState {
+    std::vector<std::string> records;  ///< unacked leases (in order) + queue
+    bool eof = false;
+    uint64_t push_deadline_us = 0;
+  };
+  /// Atomically drains queue + ledger for relocation and poisons this holder
+  /// with `cause` so stranded producers/consumers detach.
+  ExtractedState ExtractForRelocation(Status cause);
+  /// Seeds a replacement holder with relocated state. Call before exposing
+  /// the holder to producers/consumers.
+  void PreloadForRelocation(ExtractedState state);
+
+  /// Lock-free queue-depth hint for congestion-aware routing.
+  size_t approx_depth() const { return approx_depth_.load(std::memory_order_relaxed); }
+  /// Records currently retained in the redelivery ledger.
+  size_t UnackedForTest() const;
 
   bool ExhaustedForTest() const;
   HolderStats stats() const;
 
  private:
+  struct LeaseEntry {
+    std::vector<std::string> records;
+    size_t expected_frames = 0;
+    size_t acked_frames = 0;
+    bool closed = false;
+  };
+
+  void SetDepthLocked(size_t depth);
+
   PartitionHolderId id_;
   size_t capacity_;
   HolderMetrics metrics_;
@@ -126,6 +193,9 @@ class IntakePartitionHolder {
   bool eof_ = false;
   Status abort_cause_;  // OK until Abort()
   std::atomic<uint64_t> push_deadline_us_{0};
+  std::atomic<size_t> approx_depth_{0};
+  std::atomic<uint64_t>* lease_counter_ = nullptr;  // non-null => leasing on
+  std::map<uint64_t, LeaseEntry> inflight_;         // lease id -> ledger entry
 };
 
 /// Active holder: computing jobs push enriched frames; the storage job's
@@ -137,6 +207,7 @@ class StoragePartitionHolder {
       : id_(std::move(id)), capacity_(capacity) {
     metrics_.Init(id_, registry);
   }
+  ~StoragePartitionHolder();
 
   const PartitionHolderId& id() const { return id_; }
 
@@ -158,9 +229,14 @@ class StoragePartitionHolder {
   /// Bounds how long Push may block on a full queue (0 = forever).
   void set_push_deadline_us(uint64_t micros) { push_deadline_us_ = micros; }
 
+  /// Lock-free queue-depth hint for congestion-aware routing.
+  size_t approx_depth() const { return approx_depth_.load(std::memory_order_relaxed); }
+
   HolderStats stats() const;
 
  private:
+  void SetDepthLocked(size_t depth);
+
   PartitionHolderId id_;
   size_t capacity_;
   HolderMetrics metrics_;
@@ -171,6 +247,7 @@ class StoragePartitionHolder {
   bool closed_ = false;
   Status abort_cause_;  // OK until Abort()
   std::atomic<uint64_t> push_deadline_us_{0};
+  std::atomic<size_t> approx_depth_{0};
 };
 
 /// Per-node registry; jobs locate local partition holders here (paper §5.3).

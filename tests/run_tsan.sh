@@ -19,7 +19,7 @@ TESTS=("$@")
 if [ ${#TESTS[@]} -eq 0 ]; then
   TESTS=(runtime_test scheduler_test feed_pipeline_test obs_test
          admin_server_test sqlpp_delta_refresh_test fault_injection_test
-         feed_fault_test)
+         feed_fault_test cluster_ha_test)
 fi
 
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" -DIDEA_SANITIZE=thread \

@@ -251,6 +251,36 @@ TEST(PartitionHolderTest, StorageHolderCloseSemantics) {
   EXPECT_EQ(holder.stats().records_out, 1u);
 }
 
+TEST(PartitionHolderTest, QueueDepthGaugeIsExactAcrossOverlappingInstances) {
+  // Regression: the gauge is maintained with +/- deltas, so two live holder
+  // instances sharing a metric name (an abort/drain race, a relocation
+  // overlap) report the *sum* of their depths. The old absolute Set() let an
+  // aborting instance stomp the survivor's depth to zero — and a drain
+  // racing an abort could walk the gauge negative, which the stats view then
+  // clamped, silently masking the underflow.
+  const PartitionHolderId id{"gauge-regress", "storage", 0};
+  obs::Gauge* gauge =
+      obs::MetricsRegistry::Default().GetGauge(id.MetricPrefix() + ".queue_depth");
+  auto doomed = std::make_shared<StoragePartitionHolder>(id);
+  auto survivor = std::make_shared<StoragePartitionHolder>(id);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(doomed->Push(Frame()).ok());
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(survivor->Push(Frame()).ok());
+  EXPECT_EQ(gauge->value(), 5);
+
+  // The doomed instance aborts: only its own contribution is walked back.
+  doomed->Abort(Status::Aborted("node died"));
+  EXPECT_EQ(gauge->value(), 2);
+  EXPECT_EQ(survivor->stats().queue_depth, 2u);
+
+  // Draining the survivor walks the gauge to exactly zero — not negative.
+  survivor->Close();
+  Frame f;
+  size_t drained = 0;
+  while (survivor->Pop(&f)) ++drained;
+  EXPECT_EQ(drained, 2u);
+  EXPECT_EQ(gauge->value(), 0);
+}
+
 TEST(PartitionHolderManagerTest, RegistryLifecycle) {
   PartitionHolderManager mgr;
   auto intake = std::make_shared<IntakePartitionHolder>(
